@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table/figure has one benchmark module.  The Figure 4/5
+simulation matrix (10 workloads x 9 schemes) is expensive, so it is
+run once per session and shared; its size is controlled by
+``KILLI_BENCH_ACCESSES`` (accesses per CU, default 6000 — the paper's
+trends are visible at this scale; raise it for tighter numbers, e.g.
+``KILLI_BENCH_ACCESSES=50000``).
+"""
+
+import os
+
+import pytest
+
+from repro.harness.experiments import fig4_fig5_performance
+
+
+def bench_accesses() -> int:
+    return int(os.environ.get("KILLI_BENCH_ACCESSES", "6000"))
+
+
+@pytest.fixture(scope="session")
+def perf_matrix():
+    """The full Figure 4/5 simulation matrix."""
+    return fig4_fig5_performance(accesses_per_cu=bench_accesses(), seed=42)

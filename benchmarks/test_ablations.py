@@ -1,0 +1,124 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not from the paper's evaluation — these quantify the mechanisms the
+paper asserts qualitatively: priority replacement, eviction-time
+training, inverted-write training, and the write-back extension.
+"""
+
+import os
+
+from repro.harness.ablations import (
+    ablate_ecc_ratio,
+    ablate_eviction_training,
+    ablate_inverted_write_training,
+    ablate_priority_replacement,
+    ablate_writeback,
+)
+
+
+def _accesses() -> int:
+    return int(os.environ.get("KILLI_BENCH_ACCESSES", "6000"))
+
+
+def test_ablation_eviction_training(benchmark):
+    out = benchmark.pedantic(
+        ablate_eviction_training,
+        kwargs=dict(accesses_per_cu=_accesses()),
+        rounds=1, iterations=1,
+    )
+    # Section 4.4's point: eviction training accelerates DFH warmup.
+    assert out["train_on_evict"]["trained_fraction"] >= out["hits_only"]["trained_fraction"]
+    print("\neviction-training ablation:")
+    for label, summary in out.items():
+        print(f"  {label}: trained={summary['trained_fraction']:.3f} "
+              f"mpki={summary['mpki']:.2f} errmiss={summary['error_induced_misses']}")
+
+
+def test_ablation_priority_replacement(benchmark):
+    out = benchmark.pedantic(
+        ablate_priority_replacement,
+        kwargs=dict(accesses_per_cu=_accesses()),
+        rounds=1, iterations=1,
+    )
+    # Both configurations must be functional; the priority policy
+    # should not cost misses overall.
+    assert out["priority"]["mpki"] <= out["plain_lru"]["mpki"] * 1.10
+    print("\npriority-replacement ablation:")
+    for label, summary in out.items():
+        print(f"  {label}: mpki={summary['mpki']:.2f} "
+              f"eccinv={summary['ecc_evict_invalidations']} sdc={summary['sdc_events']}")
+
+
+def test_ablation_inverted_training(benchmark):
+    out = benchmark.pedantic(
+        ablate_inverted_write_training,
+        kwargs=dict(accesses_per_cu=_accesses()),
+        rounds=1, iterations=1,
+    )
+    # The mitigation never *adds* SDCs; typically it removes them.
+    assert out["inverted"]["sdc_events"] <= out["plain"]["sdc_events"]
+    print("\ninverted-write-training ablation:")
+    for label, summary in out.items():
+        print(f"  {label}: sdc={summary['sdc_events']} mpki={summary['mpki']:.2f}")
+
+
+def test_ablation_ecc_ratio(benchmark):
+    out = benchmark.pedantic(
+        ablate_ecc_ratio,
+        kwargs=dict(accesses_per_cu=_accesses()),
+        rounds=1, iterations=1,
+    )
+    # Larger ECC cache -> fewer contention invalidations.
+    assert (
+        out["1:16"]["ecc_evict_invalidations"]
+        <= out["1:256"]["ecc_evict_invalidations"]
+    )
+    print("\necc-ratio ablation (fft):")
+    for label, summary in out.items():
+        print(f"  {label}: mpki={summary['mpki']:.2f} "
+              f"eccinv={summary['ecc_evict_invalidations']}")
+
+
+def test_ablation_parity_interleaving(benchmark):
+    from repro.harness.ablations import ablate_parity_interleaving
+
+    out = benchmark.pedantic(
+        ablate_parity_interleaving,
+        kwargs=dict(accesses=_accesses() * 3),
+        rounds=1, iterations=1,
+    )
+    # Section 4.1's justification: without interleaving, adjacent
+    # 2-bit bursts hide inside one segment and become SDCs.
+    assert out["interleaved"]["sdc_events"] * 10 < out["contiguous"]["sdc_events"]
+    print("\nparity-interleaving ablation (2-bit adjacent bursts):")
+    for label, summary in out.items():
+        print(f"  {label}: SDC={summary['sdc_events']} detected={summary['detected']}")
+
+
+def test_vmin_table(benchmark):
+    from repro.analysis.vmin import VminAnalyzer
+
+    table = benchmark.pedantic(
+        lambda: VminAnalyzer().table(), rounds=1, iterations=1
+    )
+    # Paper headline: Killi operates at 62.5% of nominal VDD.
+    assert abs(table["killi"] - 0.62) < 0.011
+    assert table["msecc"] < table["killi"]
+    print("\nVmin per scheme (99% capacity + 99% coverage targets):")
+    for scheme, vmin in table.items():
+        print(f"  {scheme:12s}: {vmin:.3f} x VDD")
+
+
+def test_ablation_writeback(benchmark):
+    out = benchmark.pedantic(
+        ablate_writeback,
+        kwargs=dict(accesses_per_cu=_accesses()),
+        rounds=1, iterations=1,
+    )
+    # Write-back slashes memory write traffic (that is its point) at
+    # the cost of extra ECC-cache pressure for dirty lines.
+    assert out["write_back"]["memory_writes"] < out["write_through"]["memory_writes"]
+    print("\nwrite-back ablation (lulesh):")
+    for label, summary in out.items():
+        print(f"  {label}: memwr={summary['memory_writes']} mpki={summary['mpki']:.2f} "
+              f"due={summary.get('due_on_dirty', 0)}")

@@ -1,0 +1,31 @@
+"""Figure 1: SRAM cell failure probability vs normalized voltage.
+
+Regenerates both mechanism curves at 0.4 and 1.0 GHz and checks the
+paper's qualitative anchors: exponential growth below 0.675 VDD,
+read-disturb below writeability, monotonicity in frequency.
+"""
+
+from repro.harness.experiments import fig1_cell_pfail
+
+
+def test_fig1_series(benchmark):
+    data = benchmark.pedantic(fig1_cell_pfail, rounds=3, iterations=1)
+
+    voltages = data["voltage"]
+    write_1ghz = data["writeability@1GHz"]
+    read_1ghz = data["read_disturb@1GHz"]
+    write_04 = data["writeability@0.4GHz"]
+
+    # Monotone decreasing in voltage.
+    assert all(write_1ghz[i] > write_1ghz[i + 1] for i in range(len(voltages) - 1))
+    # Read-disturb sits below writeability (Figure 1 layout).
+    assert all(r < w for r, w in zip(read_1ghz, write_1ghz))
+    # Lower frequency -> fewer failures, at every voltage.
+    assert all(lo < hi for lo, hi in zip(write_04, write_1ghz))
+    # Exponential knee: >= 2 decades between 0.6 and 0.65.
+    p = dict(zip(voltages, write_1ghz))
+    assert p[0.6] / p[0.65] > 100
+
+    print("\nFigure 1 (writeability @1GHz):")
+    for v, value in zip(voltages, write_1ghz):
+        print(f"  {v:.3f} VDD: {value:.3e}")

@@ -1,0 +1,48 @@
+"""Figure 2: % of 64B lines with 0 / 1 / 2+ faults vs voltage.
+
+Checks the paper's anchors: majority of lines fault-free in the
+voltage range of interest; >95% of lines with fewer than two faults at
+0.625 VDD; the 2+ fraction exploding at lower voltages.  Also
+cross-validates the analytic curve against an actual sampled fault map
+(the empirical Figure 2).
+"""
+
+import pytest
+
+from repro.faults import FaultMap
+from repro.harness.experiments import fig2_line_distribution
+from repro.utils.rng import RngFactory
+
+
+def test_fig2_analytic(benchmark):
+    data = benchmark.pedantic(fig2_line_distribution, rounds=3, iterations=1)
+    by_voltage = {
+        v: (z, o, t)
+        for v, z, o, t in zip(
+            data["voltage"], data["zero"], data["one"], data["two_plus"]
+        )
+    }
+    zero, one, two_plus = by_voltage[0.625]
+    assert zero + one > 95.0  # the paper's ">95% fewer than two"
+    assert zero > 90.0
+    # Lower voltages: the 2+ population explodes (paper: "increases
+    # drastically").
+    assert by_voltage[0.575][2] > 50.0
+    print("\nFigure 2 at 0.625 VDD: zero=%.2f%% one=%.2f%% two+=%.3f%%" % (zero, one, two_plus))
+
+
+def test_fig2_empirical_matches_analytic(benchmark):
+    # Sample a full-size fault map and compare the measured line
+    # distribution with the binomial model.
+    fault_map = benchmark.pedantic(
+        lambda: FaultMap(n_lines=32768, rng=RngFactory(42).stream("fig2")),
+        rounds=1, iterations=1,
+    )
+    histogram = fault_map.fault_count_histogram(0.625, 0, 512)
+    n = fault_map.n_lines
+    measured_zero = 100.0 * histogram.get(0, 0) / n
+    measured_one = 100.0 * histogram.get(1, 0) / n
+
+    data = fig2_line_distribution(voltages=[0.625])
+    assert measured_zero == pytest.approx(data["zero"][0], abs=0.5)
+    assert measured_one == pytest.approx(data["one"][0], abs=0.5)

@@ -1,0 +1,58 @@
+"""Figure 5: L2 misses per kilo-instruction.
+
+Paper shape encoded below:
+
+- the workloads split into compute-bound (low MPKI) and memory-bound
+  (high MPKI) groups, with the named memory-bound streamers on top;
+- MS-ECC achieves the miss rate closest to the fault-free baseline
+  (highest effective capacity);
+- Killi's MPKI exceeds the baseline's and decreases with ECC-cache
+  size; FFT and XSBench show the largest 1:256 vs 1:16 gap.
+"""
+
+import numpy as np
+
+from repro.harness.experiments import fig4_fig5_performance
+
+
+def test_fig5_matrix(benchmark, perf_matrix):
+    matrix = perf_matrix
+
+    benchmark.pedantic(
+        lambda: fig4_fig5_performance(
+            workloads=["snap"], schemes=["baseline"],
+            accesses_per_cu=1000, seed=9,
+        ),
+        rounds=1, iterations=1,
+    )
+
+    workloads = matrix.workloads()
+
+    # Behaviour classes: the streaming workloads are memory-bound.
+    base_mpki = {w: matrix.mpki(w, "baseline") for w in workloads}
+    for streamer in ("snap", "hpgmg", "xsbench"):
+        assert base_mpki[streamer] > 50, (streamer, base_mpki[streamer])
+    for compute in ("nekbone", "comd", "lulesh"):
+        assert base_mpki[compute] < 50, (compute, base_mpki[compute])
+
+    # MS-ECC tracks the baseline most closely among LV schemes.
+    for workload in workloads:
+        msecc_delta = matrix.mpki(workload, "msecc") - base_mpki[workload]
+        killi_delta = matrix.mpki(workload, "killi_1:256") - base_mpki[workload]
+        assert msecc_delta <= killi_delta + 1e-9, workload
+
+    # Killi MPKI >= baseline, and shrinks with larger ECC caches on
+    # the capacity-sensitive outliers.
+    for workload in workloads:
+        assert matrix.mpki(workload, "killi_1:256") >= base_mpki[workload] - 1e-9
+
+    gaps = {
+        w: matrix.mpki(w, "killi_1:256") - matrix.mpki(w, "killi_1:16")
+        for w in workloads
+    }
+    sensitive = sorted(gaps, key=gaps.get, reverse=True)[:4]
+    assert "fft" in sensitive or "xsbench" in sensitive
+
+    print("\nFigure 5 (L2 MPKI):")
+    print(matrix.fig5_table())
+    print("\n1:256 - 1:16 MPKI gaps:", {k: round(v, 2) for k, v in gaps.items()})

@@ -1,0 +1,51 @@
+"""Figure 6: % of lines whose LV fault population is classified
+correctly, per technique, across voltage.
+
+Paper shape: all techniques ~100% at/above 0.625 VDD; below that
+SECDED, then DECTED, then MS-ECC collapse; only Killi and FLAIR stay
+near 100% across the range.  Includes the Section 5.6.2 masked-SDC
+probability (paper: 0.003% of lines at 0.625 VDD).
+"""
+
+import pytest
+
+from repro.analysis.coverage import CoverageModel
+from repro.harness.experiments import fig6_coverage
+
+
+def test_fig6_series(benchmark):
+    data = benchmark.pedantic(fig6_coverage, rounds=3, iterations=1)
+
+    at = {v: i for i, v in enumerate(data["voltage"])}
+    i625 = at[0.625]
+    for technique in ("secded", "dected", "msecc", "flair", "killi"):
+        assert data[technique][i625] > 99.9, technique
+
+    i575 = at[0.575]
+    assert data["secded"][i575] < 5.0
+    assert data["dected"][i575] < 10.0
+    assert data["msecc"][i575] > data["dected"][i575]
+    assert data["killi"][i575] > 98.0
+    assert data["flair"][i575] > 90.0
+
+    # Only Killi (and FLAIR) stay near 100% across the whole range.
+    assert min(data["killi"]) > 97.0
+
+    print("\nFigure 6 (% correctly classified):")
+    for i, v in enumerate(data["voltage"]):
+        print(
+            f"  {v:.4f}: secded={data['secded'][i]:7.3f} dected={data['dected'][i]:7.3f} "
+            f"msecc={data['msecc'][i]:7.3f} flair={data['flair'][i]:7.3f} "
+            f"killi={data['killi'][i]:7.3f}"
+        )
+
+
+def test_masked_sdc_probability_anchor(benchmark):
+    # Section 5.6.2: "for 99.997% of lines ... Killi will protect
+    # against such type of fault scenarios".
+    model = CoverageModel()
+    probability = benchmark.pedantic(
+        model.masked_sdc_probability, args=(0.625,), rounds=3, iterations=1
+    )
+    assert probability == pytest.approx(3e-5, rel=0.3)
+    print(f"\nmasked-fault SDC probability @0.625 VDD: {probability:.2e} (paper: 3e-5)")

@@ -1,0 +1,43 @@
+"""Power-state transitions: Killi's no-MBIST advantage, quantified.
+
+The paper's introduction: MBIST at every LV transition "extends boot
+time or delays power state transitions".  This bench runs the same
+multi-phase workload under Killi (transition = DFH reset, execution
+continues) and an MBIST-based scheme (transition = full-array test
+stall + cold restart) and compares total cycles.
+"""
+
+import os
+
+from repro.harness.transitions import power_transition_experiment
+
+
+def _accesses() -> int:
+    return int(os.environ.get("KILLI_BENCH_ACCESSES", "6000")) // 2
+
+
+def test_power_transitions(benchmark):
+    out = benchmark.pedantic(
+        power_transition_experiment,
+        kwargs=dict(n_transitions=4, accesses_per_phase=_accesses()),
+        rounds=1, iterations=1,
+    )
+    killi = out["killi"]
+    flair = out["flair"]
+
+    # Killi never stalls; the MBIST strategy pays n_transitions full
+    # array tests.
+    assert killi.stall_cycles == 0
+    assert flair.stall_cycles == out["n_transitions"] * 32768 * out[
+        "mbist_cycles_per_line"
+    ]
+    # Net: Killi finishes the same work sooner.
+    assert killi.total_cycles < flair.total_cycles
+    # Killi's training overhead is far smaller than the MBIST stall.
+    training_overhead = killi.execution_cycles - flair.execution_cycles
+    assert training_overhead < flair.stall_cycles
+
+    saved = 1 - killi.total_cycles / flair.total_cycles
+    print(f"\n4 LV transitions ({out['workload']}): "
+          f"killi={killi.total_cycles} flair+mbist={flair.total_cycles} "
+          f"(killi saves {saved:.1%})")

@@ -1,0 +1,49 @@
+"""Section 5.5: Killi with OLSC codes below the SECDED Vmin.
+
+At 0.600xVDD ~92% of lines carry 2+ faults, so SECDED-based Killi
+collapses; Killi with an OLSC-t11 ECC cache retains MS-ECC-class line
+capacity (99.85% of lines within the correction budget) at a fraction
+of MS-ECC's storage (Table 7).
+
+Reproduction note (recorded in EXPERIMENTS.md): the *area* side of
+Table 7 reproduces, but its implied performance parity does not — at
+0.600xVDD nearly every line needs checkbits concurrently, so a 1:8 ECC
+cache thrashes.  The assertions below encode what our model actually
+shows: OLSC-Killi keeps nearly all capacity and lands far closer to
+MS-ECC than SECDED-Killi does.
+"""
+
+import os
+
+from repro.harness.experiments import sec55_lower_vmin
+
+
+def _accesses() -> int:
+    return int(os.environ.get("KILLI_BENCH_ACCESSES", "6000"))
+
+
+def test_sec55(benchmark):
+    out = benchmark.pedantic(
+        sec55_lower_vmin,
+        kwargs=dict(accesses_per_cu=min(_accesses(), 8000)),
+        rounds=1, iterations=1,
+    )
+
+    secded = out["killi_secded_1:8"]
+    olsc = out["killi_olsc_1:8"]
+    msecc = out["msecc"]
+
+    # Capacity: OLSC keeps ~all lines; SECDED loses a large fraction.
+    assert olsc["disabled_fraction"] < 0.01
+    assert secded["disabled_fraction"] > 0.1
+    # MS-ECC with dedicated storage is the performance reference.
+    assert msecc["normalized_time"] < 1.05
+    # OLSC-Killi sits strictly between MS-ECC and SECDED-Killi.
+    assert msecc["normalized_time"] < olsc["normalized_time"] < secded["normalized_time"]
+    assert olsc["mpki"] < secded["mpki"]
+
+    print("\nSection 5.5 at 0.600 VDD:")
+    for key in ("msecc", "killi_olsc_1:8", "killi_secded_1:8"):
+        row = out[key]
+        print(f"  {key:18s}: time={row['normalized_time']:.3f} "
+              f"mpki={row['mpki']:.1f} disabled={row['disabled_fraction']:.2%}")

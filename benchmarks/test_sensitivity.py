@@ -1,0 +1,48 @@
+"""Calibration sensitivity: is the reproduction's shape robust?
+
+The 0.625xVDD Pcell had to be inferred (see EXPERIMENTS.md, Figure 2
+notes).  This bench scales the calibration across 1.5 orders of
+magnitude and checks that the qualitative conclusions survive: Killi's
+penalty grows with the fault rate but stays bounded, and the 1:16
+configuration never does worse than 1:256.
+"""
+
+import os
+
+from repro.analysis.sensitivity import pcell_sensitivity
+
+
+def _accesses() -> int:
+    return int(os.environ.get("KILLI_BENCH_ACCESSES", "6000"))
+
+
+def test_pcell_sensitivity(benchmark):
+    out = benchmark.pedantic(
+        pcell_sensitivity,
+        kwargs=dict(
+            multipliers=(0.3, 1.0, 3.0, 10.0),
+            ecc_ratios=(256, 16),
+            workload="fft",
+            accesses_per_cu=min(_accesses(), 8000),
+        ),
+        rounds=1, iterations=1,
+    )
+
+    multipliers = sorted(out)
+    # Fault populations scale as expected.
+    one_fault = [out[m]["one_fault_lines"] for m in multipliers]
+    assert all(one_fault[i] <= one_fault[i + 1] for i in range(len(one_fault) - 1))
+
+    for multiplier in multipliers:
+        row = out[multiplier]
+        # Shape robustness: bounded overhead, 1:16 <= 1:256 (+noise).
+        assert row["killi_1:256"] < 1.2, multiplier
+        assert row["killi_1:16"] <= row["killi_1:256"] + 0.01, multiplier
+
+    print("\nPcell calibration sensitivity (fft):")
+    for multiplier in multipliers:
+        row = out[multiplier]
+        print(f"  x{multiplier:<5g} p={row['p_cell']:.1e} "
+              f"1-fault={row['one_fault_lines']:.2%} "
+              f"multi={row['multi_fault_lines']:.3%} "
+              f"killi 1:256={row['killi_1:256']:.4f} 1:16={row['killi_1:16']:.4f}")

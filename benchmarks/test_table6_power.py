@@ -1,0 +1,37 @@
+"""Table 6: normalized L2 power at 0.625 VDD / 1GHz.
+
+Uses the measured extra memory traffic from the Figure 4/5 matrix as
+the traffic term of the power model.
+"""
+
+import pytest
+
+from repro.harness.experiments import table6_power
+
+PAPER_TABLE6 = {
+    "dected": 43.7,
+    "msecc": 55.3,
+    "flair": 42.6,
+    "killi_1:256": 40.3,
+    "killi_1:128": 40.7,
+    "killi_1:64": 41.1,
+    "killi_1:32": 41.7,
+    "killi_1:16": 42.4,
+}
+
+
+def test_table6(benchmark, perf_matrix):
+    table = benchmark.pedantic(
+        table6_power, args=(perf_matrix,), rounds=3, iterations=1
+    )
+    for scheme, expected in PAPER_TABLE6.items():
+        assert table[scheme] == pytest.approx(expected, abs=2.5), scheme
+
+    # Ordering: Killi cheapest, MS-ECC most expensive.
+    assert table["killi_1:256"] < table["flair"] < table["dected"] < table["msecc"]
+    # Abstract headline: ~59.3% L2 power reduction.
+    assert 100 - table["killi_1:256"] > 55
+
+    print("\nTable 6 (ours vs paper):")
+    for scheme, value in table.items():
+        print(f"  {scheme}: {value:.1f}%  (paper {PAPER_TABLE6[scheme]})")

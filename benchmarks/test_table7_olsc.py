@@ -1,0 +1,50 @@
+"""Table 7: Killi with OLSC codes vs MS-ECC at 0.6 / 0.575 VDD.
+
+Paper shape: for the same capacity/reliability target, Killi's ECC
+cache (1:8 at 0.6, 1:2 at 0.575) needs a small fraction of MS-ECC's
+area, with the gap narrowing as more lines need protection.
+"""
+
+import pytest
+
+from repro.harness.experiments import table7_olsc
+
+
+def test_table7(benchmark):
+    table = benchmark.pedantic(table7_olsc, rounds=5, iterations=1)
+
+    # Capacity targets (from the line fault model) match Table 7.
+    assert table["0.600"]["capacity_pct"] == pytest.approx(99.8, abs=0.3)
+    assert table["0.575"]["capacity_pct"] == pytest.approx(69.6, abs=1.0)
+
+    # Area ratios: paper table shows 17% and 65% (its text says 21% /
+    # 72%); we assert the band and the ordering.
+    at_0600 = table["0.600"]["killi_vs_msecc"]
+    at_0575 = table["0.575"]["killi_vs_msecc"]
+    assert 0.10 < at_0600 < 0.25
+    assert 0.45 < at_0575 < 0.75
+    assert at_0600 < at_0575
+
+    print("\nTable 7:")
+    for voltage, row in table.items():
+        print(
+            f"  {voltage} VDD: capacity={row['capacity_pct']:.1f}%  "
+            f"killi/msecc area={100 * row['killi_vs_msecc']:.0f}%"
+        )
+
+
+def test_olsc_code_actually_corrects_eleven(benchmark):
+    # The Table 7 configuration is backed by a real OLSC decoder.
+    import numpy as np
+
+    from repro.ecc.olsc import OlscCode
+    from repro.utils.bitvec import random_bits
+
+    code = OlscCode(512, t=11)
+    rng = np.random.default_rng(0)
+    data = random_bits(rng, 512)
+    word = code.encode(data)
+    positions = rng.choice(code.n, size=11, replace=False)
+    word[positions] ^= 1
+    result = benchmark.pedantic(code.decode, args=(word,), rounds=3, iterations=1)
+    assert (result.data == data).all()

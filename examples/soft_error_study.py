@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Soft-error study: why decoupled detection matters (paper §2.3).
+
+FLAIR's steady state protects every line with SECDED alone.  SECDED
+corrects 1 error and detects 2 — but a line that already carries one
+LV fault only needs a 2-bit soft-error burst to reach 3 errors, where
+SECDED silently miscorrects.  Killi's interleaved segmented parity is
+an *independent* detector: adjacent burst bits land in different
+segments and the line is refetched instead.
+
+This script injects identical soft-error traffic into both schemes at
+a sweep of (exaggerated) rates and prints the resulting silent-data-
+corruption and detection counts.
+
+Run:  python examples/soft_error_study.py
+"""
+
+from repro.harness.experiments import soft_error_campaign
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    rows = []
+    for rate in (0.005, 0.02, 0.05):
+        out = soft_error_campaign(rate_per_access=rate, accesses=40_000)
+        rows.append([
+            f"{rate:g}",
+            out["killi"]["sdc"],
+            out["killi"]["detected"],
+            out["flair"]["sdc"],
+            out["flair"]["detected"],
+        ])
+    print(format_table(
+        ["events/access", "Killi SDC", "Killi detected",
+         "SECDED-only SDC", "SECDED-only detected"],
+        rows,
+        title="Soft-error injection campaign (write-through 256KB cache @0.625 VDD)",
+    ))
+    print(
+        "\nKilli converts multi-bit transients into detected refetches;\n"
+        "per-line SECDED lets a measurable fraction through as silent\n"
+        "corruptions — the paper's core argument against reusing the\n"
+        "correction code as the only detector."
+    )
+
+
+if __name__ == "__main__":
+    main()

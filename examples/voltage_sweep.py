@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Voltage sweep: how low can each protection scheme go?
+
+Sweeps the normalized supply voltage and reports, per scheme, the
+usable L2 capacity (lines within the correction budget) and the
+classification coverage — the two quantities that together set Vmin.
+Reproduces the reasoning behind the paper's Figures 2 and 6 and
+Table 7 in one view.
+
+Run:  python examples/voltage_sweep.py
+"""
+
+from repro.analysis.coverage import CoverageModel
+from repro.faults import CellFaultModel, LineFaultModel
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    voltages = [0.700, 0.675, 0.650, 0.625, 0.600, 0.575, 0.550]
+    lines = LineFaultModel(CellFaultModel(), line_bits=523)
+    coverage = CoverageModel()
+
+    print("Usable L2 capacity (fraction of lines within the correction budget):\n")
+    rows = []
+    for v in voltages:
+        rows.append([
+            f"{v:.3f}",
+            f"{lines.p_at_most(v, 1):7.2%}",   # SECDED / FLAIR / Killi
+            f"{lines.p_at_most(v, 2):7.2%}",   # DECTED
+            f"{lines.p_at_most(v, 11):7.2%}",  # MS-ECC / Killi+OLSC
+        ])
+    print(format_table(
+        ["VDD", "correct-1 (Killi/FLAIR)", "correct-2 (DECTED)", "correct-11 (OLSC)"],
+        rows,
+    ))
+
+    print("\nClassification coverage without MBIST (Figure 6):\n")
+    rows = []
+    for v in voltages:
+        rows.append([
+            f"{v:.3f}",
+            f"{coverage.secded_coverage(v):8.2%}",
+            f"{coverage.dected_coverage(v):8.2%}",
+            f"{coverage.msecc_coverage(v):8.2%}",
+            f"{coverage.flair_coverage(v):8.2%}",
+            f"{coverage.killi_coverage(v):8.4%}",
+        ])
+    print(format_table(["VDD", "SECDED", "DECTED", "MS-ECC", "FLAIR", "Killi"], rows))
+
+    print(
+        "\nReading: at 0.625xVDD (the paper's operating point) everything "
+        "works;\nbelow 0.6 only Killi's parity+SECDED combination still "
+        "classifies lines\ncorrectly, which is what lets it adopt stronger "
+        "ECC (Table 7) and push Vmin."
+    )
+
+
+if __name__ == "__main__":
+    main()

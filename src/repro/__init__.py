@@ -1,0 +1,41 @@
+"""Killi: runtime fault classification for low-voltage caches without MBIST.
+
+A full reproduction of the HPCA 2019 paper by Ganapathy et al. (AMD
+Research).  The package is organised as:
+
+- :mod:`repro.utils` — bit vectors, deterministic RNG streams, tables.
+- :mod:`repro.ecc` — parity, SECDED, BCH (DECTED/TECQED/6EC7ED), OLSC.
+- :mod:`repro.faults` — 14nm-FinFET-calibrated LV fault model and maps.
+- :mod:`repro.cache` — set-associative cache substrate.
+- :mod:`repro.gpu` — trace-driven GPU memory-hierarchy timing model.
+- :mod:`repro.traces` — synthetic GPGPU workload trace generators.
+- :mod:`repro.core` — the Killi mechanism (DFH FSM, ECC cache, controller).
+- :mod:`repro.baselines` — SECDED / DECTED / FLAIR / MS-ECC schemes.
+- :mod:`repro.analysis` — closed-form coverage, area and power models.
+- :mod:`repro.harness` — experiment runners for every paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name):
+    """Convenience re-exports of the headline API.
+
+    Lazy so that ``import repro`` stays cheap; the canonical homes are
+    the subpackages.
+    """
+    from importlib import import_module
+
+    homes = {
+        "KilliScheme": "repro.core",
+        "KilliConfig": "repro.core",
+        "FaultMap": "repro.faults",
+        "CellFaultModel": "repro.faults",
+        "CacheGeometry": "repro.cache",
+        "WriteThroughCache": "repro.cache",
+        "GpuSimulator": "repro.gpu",
+        "GpuConfig": "repro.gpu",
+    }
+    if name in homes:
+        return getattr(import_module(homes[name]), name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,35 @@
+"""Closed-form models from the paper's evaluation.
+
+- :mod:`repro.analysis.coverage` — Section 5.3's fault-classification
+  coverage equations (Figure 6) and the Section 5.6.2 masked-fault SDC
+  probability.
+- :mod:`repro.analysis.area` — storage-area accounting for every
+  protection scheme (Tables 4, 5 and 7).
+- :mod:`repro.analysis.power` — the normalized power model (Table 6).
+"""
+
+from repro.analysis.area import (
+    AreaModel,
+    killi_area_bits,
+    killi_ecc_entry_bits,
+    per_line_scheme_bits,
+)
+from repro.analysis.coverage import CoverageModel
+from repro.analysis.montecarlo import CoverageEstimate, CoverageSampler
+from repro.analysis.power import PowerModel
+from repro.analysis.sensitivity import pcell_sensitivity, scaled_cell_model
+from repro.analysis.vmin import VminAnalyzer
+
+__all__ = [
+    "CoverageModel",
+    "CoverageSampler",
+    "CoverageEstimate",
+    "AreaModel",
+    "killi_area_bits",
+    "killi_ecc_entry_bits",
+    "per_line_scheme_bits",
+    "PowerModel",
+    "VminAnalyzer",
+    "pcell_sensitivity",
+    "scaled_cell_model",
+]

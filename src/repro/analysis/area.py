@@ -1,0 +1,178 @@
+"""Storage-area accounting (paper Tables 4, 5 and 7).
+
+All numbers are pure bit counting:
+
+- **per-line schemes** store their checkbits plus one disable bit with
+  every L2 line (SECDED: 11+1 = 12 bits/line -> 2.3% of a 2MB L2, the
+  paper's reference point);
+- **Killi** stores 4 parity bits + 2 DFH bits per L2 line, plus the
+  ECC cache: per entry 23 payload bits (12 non-resident parity + 11
+  SECDED checkbits), a 15-bit tag (11-bit L2 set index + 4-bit way),
+  valid and LRU state — 41 bits, exactly Table 3's "ECC cache line
+  size".  This model reproduces the paper's Killi area numbers to the
+  rounding digit (24.6KB at 1:256, 34.25KB at 1:16).
+- **stronger codes in the ECC cache** (Table 4): a code whose
+  checkbits fit in the 23-bit payload (DECTED's 21) is free — Killi
+  stores SECDED+12 parity during training and the stronger code's
+  checkbits afterwards in the same bits (paper Section 5.2).  Larger
+  codes provision 12 training-parity bits + their checkbits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ecc.olsc import olsc_checkbits
+from repro.ecc.registry import checkbits_for
+
+__all__ = [
+    "per_line_scheme_bits",
+    "killi_ecc_entry_bits",
+    "killi_area_bits",
+    "AreaModel",
+]
+
+#: Per-L2-line bits Killi keeps in the main arrays: 4 parity + 2 DFH.
+KILLI_LINE_BITS = 6
+
+#: ECC-cache entry overhead: 15-bit tag (L2 set + way), valid, 2b LRU.
+ECC_ENTRY_OVERHEAD_BITS = 18
+
+#: Payload available from SECDED training state: 12 parity + 11 checkbits.
+ECC_ENTRY_BASE_PAYLOAD = 23
+
+#: MS-ECC dedicated storage per line, calibrated to the paper's Table 5
+#: "% area over L2" row (38.6% of 512 data bits).
+MSECC_LINE_BITS = 198
+
+
+def per_line_scheme_bits(code: str, k: int = 512) -> int:
+    """Bits/line for an MBIST + per-line-ECC scheme (checkbits + disable).
+
+    >>> per_line_scheme_bits("secded")
+    12
+    >>> per_line_scheme_bits("dected")
+    22
+    """
+    if code == "msecc":
+        return MSECC_LINE_BITS
+    return checkbits_for(code, k) + 1
+
+
+def killi_ecc_entry_bits(code: str = "secded", k: int = 512) -> int:
+    """Total bits of one ECC-cache entry when it stores ``code``.
+
+    >>> killi_ecc_entry_bits("secded")
+    41
+    >>> killi_ecc_entry_bits("dected")   # fits in the freed parity bits
+    41
+    >>> killi_ecc_entry_bits("tecqed")
+    61
+    >>> killi_ecc_entry_bits("6ec7ed")
+    91
+    """
+    checkbits = checkbits_for(code, k)
+    if checkbits <= ECC_ENTRY_BASE_PAYLOAD:
+        payload = ECC_ENTRY_BASE_PAYLOAD
+    else:
+        payload = 12 + checkbits  # 12 training-parity bits + the code
+    return payload + ECC_ENTRY_OVERHEAD_BITS
+
+
+def killi_area_bits(n_lines: int, ecc_ratio: int, code: str = "secded", k: int = 512) -> int:
+    """Total Killi storage overhead in bits for an ``n_lines`` L2."""
+    entries = n_lines // ecc_ratio
+    return entries * killi_ecc_entry_bits(code, k) + n_lines * KILLI_LINE_BITS
+
+
+@dataclass
+class AreaModel:
+    """Area accounting for a given L2 geometry.
+
+    Parameters
+    ----------
+    n_lines:
+        L2 lines (32768 for the paper's 2MB / 64B configuration).
+    line_bits:
+        Data bits per line (512).
+    """
+
+    n_lines: int = 32768
+    line_bits: int = 512
+
+    @property
+    def l2_data_bits(self) -> int:
+        return self.n_lines * self.line_bits
+
+    def scheme_bits(self, scheme: str, ecc_ratio: int | None = None, code: str = "secded") -> int:
+        """Total overhead bits of a named scheme.
+
+        ``scheme`` is one of "secded", "dected", "tecqed", "6ec7ed",
+        "msecc", "flair" (== secded per line) or "killi" (requires
+        ``ecc_ratio``; ``code`` selects the ECC-cache code).
+        """
+        if scheme == "killi":
+            if ecc_ratio is None:
+                raise ValueError("killi area needs an ecc_ratio")
+            return killi_area_bits(self.n_lines, ecc_ratio, code, self.line_bits)
+        if scheme == "flair":
+            return self.n_lines * per_line_scheme_bits("secded", self.line_bits)
+        return self.n_lines * per_line_scheme_bits(scheme, self.line_bits)
+
+    def ratio_vs_secded(self, scheme: str, ecc_ratio: int | None = None, code: str = "secded") -> float:
+        """Storage normalized to per-line SECDED (Tables 4/5's metric)."""
+        return self.scheme_bits(scheme, ecc_ratio, code) / self.scheme_bits("secded")
+
+    def percent_of_l2(self, scheme: str, ecc_ratio: int | None = None, code: str = "secded") -> float:
+        """Overhead as % of the L2 data array (Table 5, row 3)."""
+        return 100.0 * self.scheme_bits(scheme, ecc_ratio, code) / self.l2_data_bits
+
+    # -- paper tables ------------------------------------------------------
+
+    def table5(self, ratios=(256, 128, 64, 32, 16)) -> dict:
+        """Table 5: area of DECTED / MS-ECC / SECDED / Killi variants."""
+        out = {
+            "dected": {
+                "ratio": self.ratio_vs_secded("dected"),
+                "percent": self.percent_of_l2("dected"),
+            },
+            "msecc": {
+                "ratio": self.ratio_vs_secded("msecc"),
+                "percent": self.percent_of_l2("msecc"),
+            },
+            "secded": {
+                "ratio": 1.0,
+                "percent": self.percent_of_l2("secded"),
+            },
+        }
+        for ratio in ratios:
+            out[f"killi_1:{ratio}"] = {
+                "ratio": self.ratio_vs_secded("killi", ratio),
+                "percent": self.percent_of_l2("killi", ratio),
+            }
+        return out
+
+    def table4(self, codes=("dected", "tecqed", "6ec7ed"), ratios=(256, 128, 64, 32, 16)) -> dict:
+        """Table 4: Killi with stronger ECC codes, normalized to SECDED."""
+        return {
+            code: {
+                f"1:{ratio}": self.ratio_vs_secded("killi", ratio, code)
+                for ratio in ratios
+            }
+            for code in codes
+        }
+
+    def table7_killi_vs_msecc(self, olsc_t: int = 11, ecc_ratio: int = 8) -> float:
+        """Table 7: Killi-with-OLSC storage as a fraction of MS-ECC's.
+
+        MS-ECC provisions OLSC checkbits for *every* line; Killi only
+        for 1 in ``ecc_ratio`` lines (plus parity + DFH per line).
+        """
+        olsc_bits = olsc_checkbits(self.line_bits, olsc_t)
+        msecc_bits = self.n_lines * (olsc_bits + 1)
+        entries = self.n_lines // ecc_ratio
+        killi_bits = (
+            entries * (12 + olsc_bits + ECC_ENTRY_OVERHEAD_BITS)
+            + self.n_lines * KILLI_LINE_BITS
+        )
+        return killi_bits / msecc_bits

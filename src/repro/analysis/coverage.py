@@ -1,0 +1,226 @@
+"""Fault-classification coverage (paper Section 5.3, Figure 6).
+
+Killi only needs to know whether a line has 0, 1, or >=2 faults.  The
+danger is a multi-bit fault pattern that *looks* like 0 or 1 faults to
+both detectors.  Per the paper:
+
+- SECDED is assumed to fail for every pattern of 3+ errors in its
+  523-bit codeword;
+- segmented parity (16 interleaved segments of 33 bits: 32 data + the
+  parity bit itself) fails when at most one segment has an odd error
+  count — every other erroneous segment hiding an even count;
+- the two fail independently, so
+  ``P_fail(Killi) = P_fail(SECDED) * P_fail(Seg.Parity)``.
+
+Both the paper's published formula (with its binomial approximation)
+and an exact multinomial evaluation are provided; the test suite
+checks they agree closely in the region of interest.
+
+Comparison curves (same "no MBIST" footing as Figure 6):
+
+- SECDED alone detects <=2 errors; DECTED <=3; MS-ECC (OLSC) <=11;
+- FLAIR's training-time DMR misses a fault only when both copies are
+  corrupted identically.
+
+Also included: the Section 5.6.2 same-segment masked-fault SDC
+probability (the paper's "0.003% of lines" scenario).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.faults.cell_model import CellFaultModel, FaultMechanism
+from repro.faults.line_model import binom_cdf, binom_pmf
+
+__all__ = ["CoverageModel"]
+
+
+def _segment_probs(p: float, segment_bits: int):
+    """(P_zero, P_odd>=1, P_odd>=3, P_even>=2) for one segment."""
+    p_zero = binom_pmf(segment_bits, 0, p)
+    p_odd = sum(
+        binom_pmf(segment_bits, i, p) for i in range(1, segment_bits + 1, 2)
+    )
+    p_odd3 = sum(
+        binom_pmf(segment_bits, i, p) for i in range(3, segment_bits + 1, 2)
+    )
+    p_even2 = sum(
+        binom_pmf(segment_bits, i, p) for i in range(2, segment_bits + 1, 2)
+    )
+    return p_zero, p_odd, p_odd3, p_even2
+
+
+@dataclass
+class CoverageModel:
+    """Closed-form classification coverage at an operating point.
+
+    Parameters
+    ----------
+    cell_model:
+        Pcell(V, f) source.
+    n_segments / segment_bits:
+        Killi's training parity layout (16 segments x 33 bits; the
+        parity bit itself can fail, hence 33).
+    codeword_bits:
+        SECDED codeword (523 = 512 data + 11 checkbits, all failable).
+    freq_ghz:
+        Operating frequency.
+    """
+
+    cell_model: CellFaultModel = None
+    n_segments: int = 16
+    segment_bits: int = 33
+    codeword_bits: int = 523
+    freq_ghz: float = 1.0
+
+    def __post_init__(self):
+        if self.cell_model is None:
+            self.cell_model = CellFaultModel()
+
+    def p_cell(self, voltage: float) -> float:
+        return self.cell_model.p_cell(
+            voltage, self.freq_ghz, FaultMechanism.COMBINED
+        )
+
+    # -- Killi ----------------------------------------------------------------
+
+    def p_fail_secded(self, voltage: float) -> float:
+        """P[>=3 errors in the 523-bit codeword] (paper's assumption)."""
+        return 1.0 - binom_cdf(self.codeword_bits, 2, self.p_cell(voltage))
+
+    def p_fail_seg_parity_paper(self, voltage: float) -> float:
+        """The paper's published formula, verbatim.
+
+        ``P = P^15_0 * P_segOdd(>=3)
+             + sum_{i=0}^{15} P^{16-i}_Even * P^i_0``
+        with ``P^n_X = C(16, n) P_X^n (1 - P_X)^{16-n}``.
+        """
+        p = self.p_cell(voltage)
+        n = self.n_segments
+        p_zero, _, p_odd3, p_even2 = _segment_probs(p, self.segment_bits)
+
+        def binom_term(prob: float, count: int) -> float:
+            return (
+                math.comb(n, count)
+                * prob**count
+                * (1.0 - prob) ** (n - count)
+            )
+
+        total = binom_term(p_zero, n - 1) * p_odd3
+        for i in range(0, n):
+            total += binom_term(p_even2, n - i) * binom_term(p_zero, i)
+        return min(1.0, total)
+
+    def p_fail_seg_parity_exact(self, voltage: float) -> float:
+        """Exact multinomial version of the parity-failure probability.
+
+        Segments are iid with categories (zero, odd, even>=2).  Parity
+        fails to flag a multi-bit line when at most one segment shows
+        an odd count and the pattern is not the benign ones (all-zero,
+        or a single segment with exactly one error):
+
+        - one segment odd with >=3 errors, all others zero;
+        - one segment odd (any count), >=1 segment even, rest zero;
+        - >=1 segment even, all others zero.
+        """
+        p = self.p_cell(voltage)
+        n = self.n_segments
+        p_zero, p_odd, p_odd3, p_even2 = _segment_probs(p, self.segment_bits)
+
+        # one odd(>=3) segment, others zero
+        total = n * p_odd3 * p_zero ** (n - 1)
+        # k >= 1 even segments, others zero
+        for k in range(1, n + 1):
+            total += math.comb(n, k) * p_even2**k * p_zero ** (n - k)
+        # one odd (any), k >= 1 even, rest zero
+        for k in range(1, n):
+            total += (
+                n
+                * p_odd
+                * math.comb(n - 1, k)
+                * p_even2**k
+                * p_zero ** (n - 1 - k)
+            )
+        return min(1.0, total)
+
+    def p_fail_killi(self, voltage: float, exact: bool = False) -> float:
+        """P[Killi misclassifies a line] = P_fail_SECDED * P_fail_parity."""
+        parity = (
+            self.p_fail_seg_parity_exact(voltage)
+            if exact
+            else self.p_fail_seg_parity_paper(voltage)
+        )
+        return self.p_fail_secded(voltage) * parity
+
+    def killi_coverage(self, voltage: float, exact: bool = False) -> float:
+        """Fraction of lines Killi classifies correctly (Figure 6)."""
+        return 1.0 - self.p_fail_killi(voltage, exact=exact)
+
+    # -- comparison techniques ---------------------------------------------------
+
+    def detection_coverage(self, voltage: float, detect_t: int, n_bits: int | None = None) -> float:
+        """Coverage of a code that detects up to ``detect_t`` errors."""
+        n = n_bits if n_bits is not None else self.codeword_bits
+        return binom_cdf(n, detect_t, self.p_cell(voltage))
+
+    def secded_coverage(self, voltage: float) -> float:
+        """Plain SECDED: detects up to 2 errors."""
+        return self.detection_coverage(voltage, 2)
+
+    def dected_coverage(self, voltage: float) -> float:
+        """DECTED: detects up to 3 errors (paper's assumption)."""
+        return self.detection_coverage(voltage, 3, n_bits=533)
+
+    def msecc_coverage(self, voltage: float) -> float:
+        """MS-ECC (OLSC): detects up to 11 errors in the 64B data."""
+        return self.detection_coverage(voltage, 11, n_bits=512)
+
+    def flair_coverage(self, voltage: float) -> float:
+        """FLAIR training: DMR + SECDED.
+
+        DMR comparison misses a fault only if the two copies are
+        corrupted *identically* at some bit (both stuck, same value):
+        per bit probability ``p^2 / 2``.
+        """
+        p = self.p_cell(voltage)
+        p_identical_bit = p * p / 2.0
+        p_dmr_fail = 1.0 - (1.0 - p_identical_bit) ** 512
+        return 1.0 - p_dmr_fail
+
+    def coverage_table(self, voltages) -> dict:
+        """All Figure 6 series over an iterable of voltages."""
+        voltages = list(voltages)
+        return {
+            "voltage": voltages,
+            "secded": [self.secded_coverage(v) for v in voltages],
+            "dected": [self.dected_coverage(v) for v in voltages],
+            "msecc": [self.msecc_coverage(v) for v in voltages],
+            "flair": [self.flair_coverage(v) for v in voltages],
+            "killi": [self.killi_coverage(v) for v in voltages],
+        }
+
+    # -- Section 5.6.2 ----------------------------------------------------------
+
+    def masked_sdc_probability(
+        self, voltage: float, stable_segments: int = 4, data_bits: int = 512
+    ) -> float:
+        """P[line is vulnerable to the same-segment masked-fault SDC].
+
+        The scenario of Section 5.6.2: >=2 faults land in the *same*
+        stable parity segment (128 bits) and all are masked at
+        classification time, so the line trains to b'00; a later write
+        can unmask them and parity (even count, same segment) cannot
+        detect the corruption.  Dominated by the 2-fault term:
+        ``n_seg * C(seg_bits, 2) * p^2 * (1/2)^2``.
+        """
+        p = self.p_cell(voltage)
+        seg_bits = data_bits // stable_segments
+        total = 0.0
+        for k in range(2, 7):  # higher terms negligible
+            p_k_same_seg = stable_segments * binom_pmf(seg_bits, k, p) * (
+                binom_pmf(seg_bits, 0, p) ** (stable_segments - 1)
+            )
+            total += p_k_same_seg * 0.5**k
+        return total

@@ -1,0 +1,147 @@
+"""Monte-Carlo validation of the classification-coverage model.
+
+Section 5.3's closed-form coverage rests on combinatorics over fault
+patterns; this module estimates the same quantity empirically, by
+sampling fault patterns at a voltage and pushing each through the
+*real* signal machinery (segmented parity membership + SECDED column
+codes).  The test suite checks the two agree, which both validates the
+closed form and exercises the signal path on millions of patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.layout import LineLayout
+from repro.ecc.secded import SecDedCode
+from repro.faults.cell_model import CellFaultModel, FaultMechanism
+
+__all__ = ["CoverageSampler", "CoverageEstimate"]
+
+
+@dataclass
+class CoverageEstimate:
+    """Result of a Monte-Carlo coverage run."""
+
+    samples: int
+    misclassified: int
+    faulty_lines: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of lines classified correctly."""
+        if self.samples == 0:
+            return 1.0
+        return 1.0 - self.misclassified / self.samples
+
+    @property
+    def failure_rate(self) -> float:
+        return self.misclassified / self.samples if self.samples else 0.0
+
+
+class CoverageSampler:
+    """Samples fault patterns and classifies them like Killi's training.
+
+    A pattern is *misclassified* when the line has >= 2 codeword
+    faults but the training signals (16-segment parity over 33-bit
+    segments, SECDED syndrome + global parity) are consistent with 0
+    or 1 faults — i.e. Killi would enable a line it should disable.
+    """
+
+    def __init__(self, cell_model: CellFaultModel | None = None, freq_ghz: float = 1.0):
+        self.cell_model = cell_model if cell_model is not None else CellFaultModel()
+        self.freq_ghz = freq_ghz
+        self.layout = LineLayout()
+        self._secded = SecDedCode(self.layout.data_bits)
+
+    def _classify_ok(self, offsets: np.ndarray) -> bool:
+        """Does the signal triple reveal the multi-bit pattern?
+
+        Mirrors Table 2's b'01 row outcomes: a pattern is *caught*
+        unless it classifies as clean (-> b'00) or as a single
+        correctable error (-> b'10).
+        """
+        layout = self.layout
+        segment_flips: dict = {}
+        codeword = []
+        for offset in offsets:
+            offset = int(offset)
+            if layout.is_data(offset):
+                segment_flips[offset % 16] = segment_flips.get(offset % 16, 0) + 1
+                codeword.append(offset)
+            elif layout.is_parity(offset):
+                index = layout.parity_index(offset)
+                segment_flips[index] = segment_flips.get(index, 0) + 1
+            else:
+                codeword.append(layout.codeword_position(offset))
+        sp = sum(1 for count in segment_flips.values() if count & 1)
+        syndrome_zero = self._secded.syndrome_of_error_positions(codeword) == 0
+        parity_ok = (len(codeword) & 1) == 0
+
+        if sp >= 2:
+            return True  # disabled: caught
+        if sp == 0 and syndrome_zero and parity_ok:
+            return False  # looks clean -> b'00: missed
+        if not syndrome_zero and not parity_ok:
+            return False  # looks like one error -> b'10: missed
+        if sp == 0 and syndrome_zero and not parity_ok:
+            return False  # looks like a parity-checkbit error: missed
+        if sp == 1 and syndrome_zero and parity_ok:
+            return False  # looks like a stuck parity bit: missed
+        return True  # inconsistent signals -> disabled: caught
+
+    def estimate(
+        self,
+        voltage: float,
+        samples: int = 100_000,
+        rng: np.random.Generator | None = None,
+    ) -> CoverageEstimate:
+        """Sample ``samples`` multi-fault lines and measure coverage.
+
+        Sampling is conditioned on >= 2 codeword faults (single-fault
+        and clean lines are always classified correctly by
+        construction), so the returned failure rate is
+        ``P[misclassified | >= 2 faults]``; the unconditional Figure 6
+        failure probability is that times ``P[>= 2 faults]``.
+        """
+        rng = rng if rng is not None else np.random.default_rng(0)
+        p = self.cell_model.p_cell(voltage, self.freq_ghz, FaultMechanism.COMBINED)
+        n_bits = self.layout.codeword_bits + 16  # data+check (+ parity bits)
+
+        misclassified = 0
+        produced = 0
+        # Draw fault counts conditioned on >= 2 (rejection on a
+        # binomial would waste almost all draws at realistic p).
+        counts = _sample_binomial_at_least_two(rng, n_bits, p, samples)
+        for count in counts:
+            offsets = rng.choice(self.layout.total_bits, size=int(count), replace=False)
+            codeword_faults = sum(
+                1
+                for offset in offsets
+                if not self.layout.is_parity(int(offset))
+            )
+            if codeword_faults < 2:
+                continue  # parity-bit-only patterns are not the hazard
+            produced += 1
+            if not self._classify_ok(offsets):
+                misclassified += 1
+        return CoverageEstimate(
+            samples=produced, misclassified=misclassified, faulty_lines=samples
+        )
+
+
+def _sample_binomial_at_least_two(
+    rng: np.random.Generator, n: int, p: float, size: int
+) -> np.ndarray:
+    """Binomial(n, p) samples conditioned on the value being >= 2."""
+    from repro.faults.line_model import binom_pmf
+
+    # Truncated pmf over a generous support.
+    support = np.arange(2, min(n, 60) + 1)
+    weights = np.array([binom_pmf(n, int(k), p) for k in support])
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("fault probability too small to condition on >= 2")
+    return rng.choice(support, size=size, p=weights / total)

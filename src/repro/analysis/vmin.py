@@ -1,0 +1,99 @@
+"""Vmin determination per protection scheme.
+
+The paper's headline is a Vmin: "the minimum reliable VDD can be
+reduced to 62.5% of nominal".  Operationally, a scheme's Vmin is the
+lowest voltage at which it still delivers (a) enough usable capacity —
+lines within its correction budget — and (b) trustworthy fault
+classification.  This module scans voltage for each scheme and reports
+where each criterion breaks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.coverage import CoverageModel
+from repro.faults.cell_model import CellFaultModel
+from repro.faults.line_model import LineFaultModel
+
+__all__ = ["VminAnalyzer"]
+
+
+class VminAnalyzer:
+    """Scans voltage for the capacity/coverage break-even per scheme.
+
+    Parameters
+    ----------
+    cell_model:
+        Pcell(V, f) source.
+    capacity_target:
+        Minimum fraction of lines that must remain usable.
+    coverage_target:
+        Minimum fraction of lines that must be classified correctly
+        (only meaningful for the no-MBIST schemes; MBIST-based schemes
+        get their fault map for free).
+    """
+
+    #: (correction budget t, needs runtime classification) per scheme.
+    SCHEMES = {
+        "secded": (1, True),
+        "flair": (1, False),  # MBIST supplies the fault map
+        "dected": (2, True),
+        "msecc": (11, True),
+        "killi": (1, True),
+        "killi+olsc": (11, True),
+    }
+
+    def __init__(
+        self,
+        cell_model: CellFaultModel | None = None,
+        capacity_target: float = 0.99,
+        coverage_target: float = 0.99,
+    ):
+        self.cell_model = cell_model if cell_model is not None else CellFaultModel()
+        self.capacity_target = capacity_target
+        self.coverage_target = coverage_target
+        self.lines = LineFaultModel(self.cell_model, line_bits=523)
+        self.coverage = CoverageModel(cell_model=self.cell_model)
+
+    def _coverage_of(self, scheme: str, voltage: float) -> float:
+        if scheme in ("killi", "killi+olsc"):
+            return self.coverage.killi_coverage(voltage)
+        if scheme == "flair":
+            return 1.0  # MBIST oracle
+        t_detect = {"secded": 2, "dected": 3, "msecc": 11}[scheme]
+        n_bits = {"secded": 523, "dected": 533, "msecc": 512}[scheme]
+        return self.coverage.detection_coverage(voltage, t_detect, n_bits)
+
+    def meets_targets(self, scheme: str, voltage: float) -> bool:
+        """Does ``scheme`` satisfy both targets at ``voltage``?"""
+        if scheme not in self.SCHEMES:
+            raise KeyError(f"unknown scheme {scheme!r}")
+        correct_t, _ = self.SCHEMES[scheme]
+        if self.lines.p_at_most(voltage, correct_t) < self.capacity_target:
+            return False
+        return self._coverage_of(scheme, voltage) >= self.coverage_target
+
+    def vmin(self, scheme: str, lo: float = 0.5, hi: float = 0.8, step: float = 0.005) -> float:
+        """Lowest scanned voltage meeting both targets (NaN if none)."""
+        voltages = np.arange(lo, hi + step / 2, step)
+        passing = [v for v in voltages if self.meets_targets(scheme, float(v))]
+        if not passing:
+            return float("nan")
+        # Targets are not perfectly monotone (Killi coverage dips);
+        # Vmin is the lowest voltage from which every higher scanned
+        # voltage also passes.
+        passing_set = {round(float(v), 6) for v in passing}
+        vmin = None
+        for v in reversed(voltages):
+            if round(float(v), 6) in passing_set:
+                vmin = float(v)
+            else:
+                break
+        return vmin if vmin is not None else float("nan")
+
+    def table(self) -> Dict[str, float]:
+        """Vmin for every scheme (the headline comparison)."""
+        return {scheme: self.vmin(scheme) for scheme in self.SCHEMES}

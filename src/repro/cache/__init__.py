@@ -1,0 +1,37 @@
+"""Set-associative cache substrate.
+
+Provides the machinery every protection scheme plugs into:
+
+- :mod:`repro.cache.geometry` — address mapping for a banked
+  set-associative cache (the paper's 2MB / 16-way / 64B-line / 16-bank
+  GPU L2 and the small 4-way ECC cache both instantiate this).
+- :mod:`repro.cache.stats` — hit/miss/error accounting, MPKI.
+- :mod:`repro.cache.replacement` — per-set LRU state with the
+  DFH-priority victim selection hook Killi's modified policy needs.
+- :mod:`repro.cache.setassoc` — the tag store.
+- :mod:`repro.cache.protection` — the scheme interface + outcomes.
+- :mod:`repro.cache.wtcache` — the write-through protected cache that
+  drives a scheme (Killi or a baseline) on every access.
+"""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.protection import AccessOutcome, ProtectionScheme, UnprotectedScheme
+from repro.cache.replacement import LruState
+from repro.cache.setassoc import CacheLineState, SetAssocCache
+from repro.cache.stats import CacheStats
+from repro.cache.wbcache import WriteBackCache
+from repro.cache.wtcache import CacheLatencies, WriteThroughCache
+
+__all__ = [
+    "CacheGeometry",
+    "CacheStats",
+    "LruState",
+    "CacheLineState",
+    "SetAssocCache",
+    "AccessOutcome",
+    "ProtectionScheme",
+    "UnprotectedScheme",
+    "CacheLatencies",
+    "WriteThroughCache",
+    "WriteBackCache",
+]

@@ -1,0 +1,85 @@
+"""Address mapping for a banked set-associative cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheGeometry"]
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size/shape of a set-associative cache and its address mapping.
+
+    The paper's GPU L2 (Table 3) is ``CacheGeometry(size_bytes=2*2**20,
+    line_bytes=64, associativity=16, banks=16)`` — 2048 sets, 32768
+    lines.
+
+    Addresses are byte addresses; the set index is taken from the bits
+    directly above the line offset, and the bank from the low bits of
+    the set index (line interleaving across banks).
+    """
+
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 16
+    banks: int = 1
+
+    def __post_init__(self):
+        if not _is_pow2(self.line_bytes):
+            raise ValueError("line_bytes must be a power of two")
+        if not _is_pow2(self.banks):
+            raise ValueError("banks must be a power of two")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError("size must be divisible by line_bytes * associativity")
+        if not _is_pow2(self.n_sets):
+            raise ValueError("number of sets must be a power of two")
+        if self.banks > self.n_sets:
+            raise ValueError("more banks than sets")
+
+    @property
+    def n_lines(self) -> int:
+        """Total number of physical lines."""
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self.n_lines // self.associativity
+
+    @property
+    def line_bits(self) -> int:
+        """Data bits per line."""
+        return self.line_bytes * 8
+
+    def line_address(self, addr: int) -> int:
+        """Address with the intra-line offset stripped."""
+        return addr & ~(self.line_bytes - 1)
+
+    def set_of(self, addr: int) -> int:
+        """Set index of a byte address."""
+        return (addr // self.line_bytes) % self.n_sets
+
+    def tag_of(self, addr: int) -> int:
+        """Tag of a byte address."""
+        return addr // self.line_bytes // self.n_sets
+
+    def bank_of(self, addr: int) -> int:
+        """Bank servicing a byte address (line-interleaved)."""
+        return self.set_of(addr) % self.banks
+
+    def line_id(self, set_index: int, way: int) -> int:
+        """Stable physical line id for (set, way) — fault maps key on this."""
+        if not 0 <= set_index < self.n_sets:
+            raise IndexError(f"set {set_index} out of range")
+        if not 0 <= way < self.associativity:
+            raise IndexError(f"way {way} out of range")
+        return set_index * self.associativity + way
+
+    def addr_of(self, tag: int, set_index: int) -> int:
+        """Reconstruct a line-aligned byte address from (tag, set)."""
+        return (tag * self.n_sets + set_index) * self.line_bytes

@@ -1,0 +1,93 @@
+"""Protection-scheme interface.
+
+A *protection scheme* is everything that distinguishes Killi, FLAIR,
+DECTED, MS-ECC and the fault-free baseline from the underlying tag
+store: what happens on a fill, a hit, an eviction; which victim is
+preferred; which lines get disabled.  The write-through cache
+(:mod:`repro.cache.wtcache`) calls into the scheme at each of those
+points and acts on the returned :class:`AccessOutcome`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["AccessOutcome", "ProtectionScheme", "UnprotectedScheme"]
+
+
+class AccessOutcome(enum.Enum):
+    """What the protection scheme decided about a read hit."""
+
+    CLEAN = "clean"
+    """Data is good; serve the hit."""
+
+    CORRECTED = "corrected"
+    """Data needed an ECC correction; serve the hit (+1 cycle)."""
+
+    RETRAIN_MISS = "retrain_miss"
+    """Detected error invalidates the line and re-enters training
+    (Killi Table 2: b'00 with one mismatching segment -> b'01).  The
+    access is converted into an error-induced cache miss."""
+
+    DISABLE_MISS = "disable_miss"
+    """Detected multi-bit error disables the line (DFH b'11).  The
+    access is converted into an error-induced cache miss."""
+
+
+class ProtectionScheme:
+    """Base scheme: no protection, nothing ever fails.
+
+    Subclasses override the hooks they need.  ``attach`` is called once
+    by the cache so schemes that manage shared structures (Killi's ECC
+    cache) can invalidate lines back through the cache.
+    """
+
+    def __init__(self):
+        self.cache = None
+
+    def attach(self, cache) -> None:
+        """Called by the owning cache after construction."""
+        self.cache = cache
+
+    # -- access hooks (set_index, way identify the physical line) -------
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        """New data installed into (set, way)."""
+
+    def on_read_hit(self, set_index: int, way: int) -> AccessOutcome:
+        """Data read from (set, way); decide the outcome."""
+        return AccessOutcome.CLEAN
+
+    def on_write_hit(self, set_index: int, way: int) -> None:
+        """Data overwritten in place (write-through update)."""
+
+    def on_evict(self, set_index: int, way: int) -> None:
+        """Valid line evicted (replacement).  Killi trains DFH here."""
+
+    def on_invalidated(self, set_index: int, way: int) -> None:
+        """Line invalidated for a non-replacement reason."""
+
+    def on_dirty(self, set_index: int, way: int) -> None:
+        """Line transitioned clean -> dirty (write-back caches only)."""
+
+    # -- policy hooks ----------------------------------------------------
+
+    def fill_priority(self, set_index: int, way: int) -> int:
+        """Priority for choosing among *invalid* candidate ways.
+
+        Higher wins.  Killi returns 2 for DFH b'01, 1 for b'00, 0 for
+        b'10 (paper Section 4.4).
+        """
+        return 0
+
+    def is_line_usable(self, set_index: int, way: int) -> bool:
+        """May (set, way) receive a fill?  (Disabled ways are already
+        excluded by the tag store; schemes can exclude more.)"""
+        return True
+
+    def on_reset(self) -> None:
+        """Voltage change / reboot: clear learned state (DFH reset)."""
+
+
+class UnprotectedScheme(ProtectionScheme):
+    """The paper's baseline: fault-free cache at nominal VDD."""

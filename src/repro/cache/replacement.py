@@ -1,0 +1,53 @@
+"""Per-set LRU recency tracking.
+
+The replacement *state* (recency order) is kept here; the *victim
+choice* lives in :mod:`repro.cache.wtcache`, because Killi's modified
+policy (paper Section 4.4) needs scheme knowledge: it prioritises
+invalid lines by DFH state (b'01 > b'00 > b'10) and never selects
+disabled ways.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["LruState"]
+
+
+class LruState:
+    """LRU recency order for every set of a cache.
+
+    Each set holds a list of ways ordered most-recently-used first.
+    """
+
+    def __init__(self, n_sets: int, associativity: int):
+        if n_sets < 1 or associativity < 1:
+            raise ValueError("n_sets and associativity must be positive")
+        self.n_sets = n_sets
+        self.associativity = associativity
+        self._order: List[List[int]] = [
+            list(range(associativity)) for _ in range(n_sets)
+        ]
+
+    def touch(self, set_index: int, way: int) -> None:
+        """Move ``way`` to the MRU position of its set."""
+        order = self._order[set_index]
+        order.remove(way)
+        order.insert(0, way)
+
+    def demote(self, set_index: int, way: int) -> None:
+        """Move ``way`` to the LRU position (used after invalidation)."""
+        order = self._order[set_index]
+        order.remove(way)
+        order.append(way)
+
+    def recency_order(self, set_index: int) -> Sequence[int]:
+        """Ways of a set, most-recently-used first (read-only view)."""
+        return tuple(self._order[set_index])
+
+    def lru_choice(self, set_index: int, eligible) -> int | None:
+        """Least-recently-used way among ``eligible`` (a container of ways)."""
+        for way in reversed(self._order[set_index]):
+            if way in eligible:
+                return way
+        return None

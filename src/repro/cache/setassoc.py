@@ -1,0 +1,110 @@
+"""Set-associative tag store.
+
+Holds validity, tags and per-line disable flags; the protected cache
+(:mod:`repro.cache.wtcache`) layers the access protocol and the
+protection scheme on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.geometry import CacheGeometry
+
+__all__ = ["CacheLineState", "SetAssocCache"]
+
+
+@dataclass
+class CacheLineState:
+    """Tag-array state of one physical line."""
+
+    valid: bool = False
+    tag: int = -1
+    disabled: bool = False
+    dirty: bool = False
+    """Modified data (write-back mode only; always False write-through)."""
+
+
+class SetAssocCache:
+    """Tag store for a set-associative cache.
+
+    Purely structural: lookup, insert, invalidate.  Replacement and
+    protection policy live in the caller.
+    """
+
+    def __init__(self, geometry: CacheGeometry):
+        self.geometry = geometry
+        self._lines = [
+            [CacheLineState() for _ in range(geometry.associativity)]
+            for _ in range(geometry.n_sets)
+        ]
+        # Per-set tag -> way index for O(1) lookups.
+        self._tag_index = [dict() for _ in range(geometry.n_sets)]
+
+    def line(self, set_index: int, way: int) -> CacheLineState:
+        """The tag-array state of (set, way)."""
+        return self._lines[set_index][way]
+
+    def lookup(self, addr: int) -> int | None:
+        """Way holding ``addr``, or None on miss.
+
+        Disabled ways never hit (a disabled line holds no valid data).
+        """
+        set_index = self.geometry.set_of(addr)
+        tag = self.geometry.tag_of(addr)
+        return self._tag_index[set_index].get(tag)
+
+    def insert(self, addr: int, way: int) -> None:
+        """Fill (set_of(addr), way) with ``addr``'s tag."""
+        set_index = self.geometry.set_of(addr)
+        line = self._lines[set_index][way]
+        if line.disabled:
+            raise ValueError("cannot fill a disabled line")
+        index = self._tag_index[set_index]
+        if line.valid:
+            index.pop(line.tag, None)
+        line.valid = True
+        line.dirty = False
+        line.tag = self.geometry.tag_of(addr)
+        index[line.tag] = way
+
+    def invalidate(self, set_index: int, way: int) -> None:
+        """Drop the line's contents (tag state only)."""
+        line = self._lines[set_index][way]
+        if line.valid:
+            self._tag_index[set_index].pop(line.tag, None)
+        line.valid = False
+        line.dirty = False
+        line.tag = -1
+
+    def disable(self, set_index: int, way: int) -> None:
+        """Permanently (until reset) disable a way."""
+        line = self._lines[set_index][way]
+        if line.valid:
+            self._tag_index[set_index].pop(line.tag, None)
+        line.valid = False
+        line.dirty = False
+        line.tag = -1
+        line.disabled = True
+
+    def enable_all(self) -> None:
+        """Clear every disable flag (models a voltage change / DFH reset)."""
+        for set_lines in self._lines:
+            for line in set_lines:
+                line.disabled = False
+
+    def ways_of_set(self, set_index: int):
+        """All line states of a set (list indexed by way)."""
+        return self._lines[set_index]
+
+    def count_disabled(self) -> int:
+        """Number of disabled lines cache-wide."""
+        return sum(
+            1 for set_lines in self._lines for line in set_lines if line.disabled
+        )
+
+    def count_valid(self) -> int:
+        """Number of valid lines cache-wide."""
+        return sum(
+            1 for set_lines in self._lines for line in set_lines if line.valid
+        )

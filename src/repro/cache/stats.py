@@ -1,0 +1,85 @@
+"""Cache access statistics.
+
+Tracks the quantities the paper's evaluation reports: hits, misses and
+therefore MPKI (Figure 5), plus the Killi-specific events — error
+induced misses, ECC-cache-contention invalidations, bypasses when a
+whole set is disabled — that explain *why* the miss counts move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance over one simulation."""
+
+    reads: int = 0
+    writes: int = 0
+    read_hits: int = 0
+    write_hits: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    evictions: int = 0
+    fills: int = 0
+    bypasses: int = 0
+    """Reads serviced directly by memory because every way was disabled."""
+    error_induced_misses: int = 0
+    """Hits converted to misses by a detected-uncorrectable error (Table 2)."""
+    corrected_reads: int = 0
+    """Hits whose data needed an ECC correction before being returned."""
+    ecc_evict_invalidations: int = 0
+    """L2 lines invalidated because their ECC-cache entry was evicted."""
+    invalidations: int = 0
+    extra: dict = field(default_factory=dict)
+    """Scheme-specific counters (DFH transition counts, etc.)."""
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def hits(self) -> int:
+        return self.read_hits + self.write_hits
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Read miss rate (write-through caches never allocate on write)."""
+        return self.read_misses / self.reads if self.reads else 0.0
+
+    def mpki(self, instructions: int) -> float:
+        """Misses per kilo-instruction (Figure 5's metric)."""
+        if instructions <= 0:
+            raise ValueError("instructions must be positive")
+        return 1000.0 * self.misses / instructions
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment a scheme-specific counter."""
+        self.extra[name] = self.extra.get(name, 0) + amount
+
+    def as_dict(self) -> dict:
+        """Flat dict of all counters (for harness CSV output)."""
+        out = {
+            "reads": self.reads,
+            "writes": self.writes,
+            "read_hits": self.read_hits,
+            "write_hits": self.write_hits,
+            "read_misses": self.read_misses,
+            "write_misses": self.write_misses,
+            "evictions": self.evictions,
+            "fills": self.fills,
+            "bypasses": self.bypasses,
+            "error_induced_misses": self.error_induced_misses,
+            "corrected_reads": self.corrected_reads,
+            "ecc_evict_invalidations": self.ecc_evict_invalidations,
+            "invalidations": self.invalidations,
+        }
+        out.update(self.extra)
+        return out

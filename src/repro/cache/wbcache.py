@@ -1,0 +1,84 @@
+"""Write-back protected cache (paper Section 5.6.1 extension).
+
+Same structure as the write-through cache, but stores allocate and
+dirty data lives only in the cache until eviction.  This changes the
+reliability calculus fundamentally: a detected-uncorrectable error on
+a *dirty* line cannot be repaired by refetching — it is a detected
+uncorrectable error (DUE, i.e. data loss), which the stats record.
+
+The cache signals dirtiness to the scheme through the ``on_dirty``
+hook so Killi's write-back variant can upgrade the line's protection
+(SECDED for dirty b'00 lines, DECTED-in-the-freed-parity-bits for
+dirty b'10 lines — the paper's proposal).
+"""
+
+from __future__ import annotations
+
+from repro.cache.protection import AccessOutcome
+from repro.cache.wtcache import WriteThroughCache
+
+__all__ = ["WriteBackCache"]
+
+
+class WriteBackCache(WriteThroughCache):
+    """Write-back, write-allocate protected cache."""
+
+    def write(self, addr: int) -> int:
+        """Write access; allocates on miss, marks the line dirty."""
+        self.stats.writes += 1
+        lat = self.latencies
+        set_index = self.geometry.set_of(addr)
+        way = self.tags.lookup(addr)
+        if way is not None:
+            self.stats.write_hits += 1
+            self.scheme.on_write_hit(set_index, way)
+            line = self.tags.line(set_index, way)
+            if not line.dirty:
+                line.dirty = True
+                self.scheme.on_dirty(set_index, way)
+            self.lru.touch(set_index, way)
+            return lat.tag + lat.data
+
+        # Write-allocate: fetch the line, then modify it.
+        self.stats.write_misses += 1
+        self.memory_reads += 1
+        way = self._allocate(addr)
+        if way is None:
+            # Nowhere to put it: the store goes straight to memory.
+            self.stats.bypasses += 1
+            self.memory_writes += 1
+            return lat.miss
+        self.scheme.on_write_hit(set_index, way)
+        self.tags.line(set_index, way).dirty = True
+        self.scheme.on_dirty(set_index, way)
+        return lat.miss
+
+    def read(self, addr: int) -> int:
+        """Read access; uncorrectable errors on dirty lines are DUEs."""
+        set_index = self.geometry.set_of(addr)
+        way = self.tags.lookup(addr)
+        if way is not None and self.tags.line(set_index, way).dirty:
+            # Peek at the outcome path: a detected-uncorrectable error
+            # here loses modified data.
+            self.stats.reads += 1
+            outcome = self.scheme.on_read_hit(set_index, way)
+            lat = self.latencies
+            if outcome is AccessOutcome.CLEAN:
+                self.stats.read_hits += 1
+                self.lru.touch(set_index, way)
+                return lat.hit
+            if outcome is AccessOutcome.CORRECTED:
+                self.stats.read_hits += 1
+                self.stats.corrected_reads += 1
+                self.lru.touch(set_index, way)
+                return lat.hit + lat.correction
+            # Data loss: the only copy was modified and is now gone.
+            self.stats.error_induced_misses += 1
+            self.stats.bump("due_on_dirty")
+            if outcome is AccessOutcome.DISABLE_MISS:
+                self.tags.disable(set_index, way)
+            else:
+                self.tags.invalidate(set_index, way)
+            self.lru.demote(set_index, way)
+            return lat.hit + self._miss(addr)
+        return super().read(addr)

@@ -1,0 +1,222 @@
+"""Write-through protected cache.
+
+Implements the access protocol of the paper's GPU L2: write-through /
+no-write-allocate (writes always go to memory; detected-uncorrectable
+read errors can therefore always be repaired by refetching), with a
+protection scheme consulted on every fill, hit and eviction.
+
+Latency accounting follows Table 3: a hit pays tag + data + check
+latency; ECC-cache accesses are hidden under the data access; a miss
+additionally pays the memory latency.  Error-induced misses (Table 2's
+"signal error-induced cache miss; trigger new load request") pay the
+hit latency for the failed attempt plus a full miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.protection import AccessOutcome, ProtectionScheme
+from repro.cache.replacement import LruState
+from repro.cache.setassoc import SetAssocCache
+from repro.cache.stats import CacheStats
+
+__all__ = ["CacheLatencies", "WriteThroughCache"]
+
+
+@dataclass(frozen=True)
+class CacheLatencies:
+    """Access latencies in cycles (paper Table 3 values as defaults)."""
+
+    tag: int = 2
+    data: int = 2
+    check: int = 1
+    """SECDED / parity check latency; ECC-cache access is hidden."""
+    correction: int = 1
+    """Extra cycles when a correction is applied before data return."""
+    memory: int = 200
+    """Main-memory access latency (not in Table 3; modelled)."""
+
+    @property
+    def hit(self) -> int:
+        return self.tag + self.data + self.check
+
+    @property
+    def miss(self) -> int:
+        return self.tag + self.memory
+
+
+class WriteThroughCache:
+    """A set-associative, write-through, no-write-allocate cache.
+
+    Parameters
+    ----------
+    geometry:
+        Shape of the cache.
+    scheme:
+        Protection scheme consulted on every access.
+    latencies:
+        Cycle costs per access type.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        scheme: ProtectionScheme | None = None,
+        latencies: CacheLatencies | None = None,
+    ):
+        self.geometry = geometry
+        self.scheme = scheme if scheme is not None else ProtectionScheme()
+        self.latencies = latencies if latencies is not None else CacheLatencies()
+        self.tags = SetAssocCache(geometry)
+        self.lru = LruState(geometry.n_sets, geometry.associativity)
+        self.stats = CacheStats()
+        self.memory_reads = 0
+        self.memory_writes = 0
+        self.scheme.attach(self)
+        # Skip the per-way usability call unless the scheme overrides it.
+        self._scheme_filters_ways = (
+            type(self.scheme).is_line_usable is not ProtectionScheme.is_line_usable
+        )
+
+    # -- public access API ------------------------------------------------
+
+    def read(self, addr: int) -> int:
+        """Read access; returns the latency in cycles."""
+        self.stats.reads += 1
+        lat = self.latencies
+        set_index = self.geometry.set_of(addr)
+        way = self.tags.lookup(addr)
+        if way is not None:
+            outcome = self.scheme.on_read_hit(set_index, way)
+            if outcome is AccessOutcome.CLEAN:
+                self.stats.read_hits += 1
+                self.lru.touch(set_index, way)
+                return lat.hit
+            if outcome is AccessOutcome.CORRECTED:
+                self.stats.read_hits += 1
+                self.stats.corrected_reads += 1
+                self.lru.touch(set_index, way)
+                return lat.hit + lat.correction
+            # Error-induced miss: drop the copy and refetch.
+            self.stats.error_induced_misses += 1
+            if outcome is AccessOutcome.DISABLE_MISS:
+                self.tags.disable(set_index, way)
+            else:
+                self.tags.invalidate(set_index, way)
+            self.lru.demote(set_index, way)
+            return lat.hit + self._miss(addr)
+        return self._miss(addr)
+
+    def write(self, addr: int) -> int:
+        """Write access (write-through, no allocate); returns latency.
+
+        The store is posted to memory regardless; a hit also updates
+        the cached copy (and its protection metadata).
+        """
+        self.stats.writes += 1
+        self.memory_writes += 1
+        set_index = self.geometry.set_of(addr)
+        way = self.tags.lookup(addr)
+        if way is not None:
+            self.stats.write_hits += 1
+            self.scheme.on_write_hit(set_index, way)
+            self.lru.touch(set_index, way)
+        else:
+            self.stats.write_misses += 1
+        # Posted write: the store itself does not stall the requester
+        # beyond the tag check.
+        return self.latencies.tag
+
+    def invalidate_line(self, set_index: int, way: int, reason: str = "") -> None:
+        """Invalidate a valid line from outside the access path.
+
+        Used by Killi when an ECC-cache eviction leaves an L2 line
+        unprotected (paper Section 4.3).
+        """
+        line = self.tags.line(set_index, way)
+        if not line.valid:
+            return
+        if line.dirty:
+            self.memory_writes += 1  # write-back before dropping
+        self.tags.invalidate(set_index, way)
+        self.lru.demote(set_index, way)
+        self.stats.invalidations += 1
+        if reason == "ecc_evict":
+            self.stats.ecc_evict_invalidations += 1
+        self.scheme.on_invalidated(set_index, way)
+
+    def reset(self) -> None:
+        """Voltage change / reboot: flush everything, re-enable lines."""
+        for set_index in range(self.geometry.n_sets):
+            for way in range(self.geometry.associativity):
+                self.tags.invalidate(set_index, way)
+        self.tags.enable_all()
+        self.scheme.on_reset()
+
+    # -- miss path ---------------------------------------------------------
+
+    def _miss(self, addr: int) -> int:
+        self.stats.read_misses += 1
+        self.memory_reads += 1
+        if self._allocate(addr) is None:
+            self.stats.bypasses += 1
+        return self.latencies.miss
+
+    def _allocate(self, addr: int) -> int | None:
+        """Install ``addr`` into its set; returns the way or None (bypass).
+
+        Eviction-time training may *disable* the chosen victim (Killi
+        discovers a multi-bit fault in the evicted contents), in which
+        case another victim is chosen.
+        """
+        set_index = self.geometry.set_of(addr)
+        for _ in range(self.geometry.associativity):
+            victim = self._choose_victim(set_index)
+            if victim is None:
+                # Every way disabled (or unusable): no allocation.
+                return None
+            line = self.tags.line(set_index, victim)
+            if line.valid:
+                self.stats.evictions += 1
+                if line.dirty:
+                    self.memory_writes += 1  # write-back of modified data
+                self.scheme.on_evict(set_index, victim)
+                if line.disabled:
+                    continue
+                self.tags.invalidate(set_index, victim)
+            self.tags.insert(addr, victim)
+            self.stats.fills += 1
+            self.scheme.on_fill(set_index, victim)
+            self.lru.touch(set_index, victim)
+            return victim
+        return None
+
+    def _choose_victim(self, set_index: int) -> int | None:
+        """Victim selection with the scheme's priorities.
+
+        1. Only enabled, scheme-usable ways are candidates.
+        2. Invalid candidates are preferred, ordered by the scheme's
+           fill priority (Killi: b'01 > b'00 > b'10).
+        3. Otherwise the LRU valid candidate is evicted.
+        """
+        lines = self.tags.ways_of_set(set_index)
+        if self._scheme_filters_ways:
+            candidates = [
+                way
+                for way, line in enumerate(lines)
+                if not line.disabled and self.scheme.is_line_usable(set_index, way)
+            ]
+        else:
+            candidates = [
+                way for way, line in enumerate(lines) if not line.disabled
+            ]
+        if not candidates:
+            return None
+        invalid = [way for way in candidates if not lines[way].valid]
+        if invalid:
+            return max(
+                invalid, key=lambda way: self.scheme.fill_priority(set_index, way)
+            )
+        return self.lru.lru_choice(set_index, set(candidates))

@@ -1,0 +1,76 @@
+"""Killi configuration.
+
+Collects every knob the paper sweeps or calls out as a design choice,
+so experiments and ablations are driven from one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KilliConfig"]
+
+
+@dataclass(frozen=True)
+class KilliConfig:
+    """Configuration of the Killi mechanism.
+
+    Parameters
+    ----------
+    ecc_ratio:
+        L2 lines per ECC-cache line; the paper sweeps
+        {256, 128, 64, 32, 16} (written "1:256" .. "1:16").
+    ecc_assoc:
+        ECC cache associativity (Table 3: 4).
+    training_segments:
+        Parity segments while a line is in DFH b'01 (paper: 16, each
+        32 bits wide).
+    stable_segments:
+        Parity segments for stable lines (paper: 4, each 128 bits).
+    train_on_evict:
+        Paper Section 4.4: classify b'01 lines when they are evicted,
+        not only on hits.  Ablation switch.
+    priority_replacement:
+        Paper Section 4.4: prefer filling invalid lines in DFH order
+        b'01 > b'00 > b'10.  Ablation switch.
+    lv_faults_in_ecc_cache:
+        Whether the checkbits / extra parity stored in the ECC cache
+        are themselves subject to LV faults.  The paper's analytic
+        model assumes checkbits can fail; default True.
+    inverted_write_training:
+        Paper Section 5.6.2's masked-fault mitigation: training
+        verifies both the original and the inverted data image, so
+        every active fault is observed regardless of masking (a stuck
+        cell disagrees with exactly one of the two polarities).
+        Eliminates masked-fault SDCs at the cost of an extra write +
+        read per training classification.
+    interleaved_parity:
+        Paper Section 4.1: interleave parity segments so adjacent
+        multi-bit soft errors land in different segments.  Ablation
+        switch (False = contiguous segments).
+    """
+
+    ecc_ratio: int = 64
+    ecc_assoc: int = 4
+    training_segments: int = 16
+    stable_segments: int = 4
+    train_on_evict: bool = True
+    priority_replacement: bool = True
+    lv_faults_in_ecc_cache: bool = True
+    inverted_write_training: bool = False
+    interleaved_parity: bool = True
+
+    def __post_init__(self):
+        if self.ecc_ratio < 1:
+            raise ValueError("ecc_ratio must be >= 1")
+        if self.ecc_assoc < 1:
+            raise ValueError("ecc_assoc must be >= 1")
+        if self.training_segments % self.stable_segments:
+            raise ValueError(
+                "training_segments must be a multiple of stable_segments"
+            )
+
+    def ecc_entries(self, n_l2_lines: int) -> int:
+        """Number of ECC-cache entries for a given L2 size."""
+        entries = n_l2_lines // self.ecc_ratio
+        return max(entries, self.ecc_assoc)

@@ -1,0 +1,358 @@
+"""Killi protection scheme (paper Section 4).
+
+Glues together the DFH state machine (Table 2), the per-line error
+model, and the ECC cache into a :class:`repro.cache.ProtectionScheme`
+that the write-through L2 drives.  Responsibilities:
+
+- **Fill** — resample unmasked faults for the new contents; lines in
+  DFH b'01 / b'10 allocate an ECC-cache entry, possibly evicting (and
+  thereby invalidating) another L2 line's entry — the contention
+  mechanism behind Figure 4/5's sensitivity to ECC-cache size.
+- **Read hit** — derive the (segmented parity, syndrome, global
+  parity) signals, classify per Table 2, update DFH, and translate the
+  action to a cache outcome (clean hit / corrected hit / error-induced
+  miss that invalidates or disables the line).
+- **Eviction** — optional training: b'01 lines are classified from
+  their evicted contents (Section 4.4), so DFH warmup does not require
+  a hit.
+- **Victim priority** — invalid lines are filled in DFH order
+  b'01 > b'00 > b'10 (Section 4.4).
+- **Reset** — voltage change / reboot clears all DFH bits back to
+  b'01 and flushes the ECC cache (Section 2.4: Killi relearns the
+  fault population of the new voltage).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.protection import AccessOutcome, ProtectionScheme
+from repro.core.config import KilliConfig
+from repro.core.dfh import Classification, Dfh, DfhAction, classify
+from repro.core.ecc_cache import EccCache
+from repro.core.layout import LineLayout
+from repro.core.linestate import LineErrorModel
+from repro.faults.fault_map import FaultMap
+from repro.faults.soft_errors import SoftErrorInjector
+
+__all__ = ["KilliScheme"]
+
+
+class KilliScheme(ProtectionScheme):
+    """The Killi mechanism as a cache protection scheme.
+
+    Parameters
+    ----------
+    geometry:
+        Geometry of the protected L2.
+    fault_map:
+        Persistent LV fault map covering ``geometry.n_lines`` lines of
+        :class:`~repro.core.layout.LineLayout` width.
+    voltage:
+        Normalized LV operating point of the data array.
+    config:
+        Killi knobs (ECC-cache ratio, segments, policy switches).
+    rng:
+        Stream for fault-masking coin flips.
+    soft_injector:
+        Optional transient-error injector exercised on read hits.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        fault_map: FaultMap,
+        voltage: float,
+        config: KilliConfig | None = None,
+        rng: np.random.Generator | None = None,
+        soft_injector: SoftErrorInjector | None = None,
+    ):
+        super().__init__()
+        self.geometry = geometry
+        self.config = config if config is not None else KilliConfig()
+        self.voltage = voltage
+        self.layout = LineLayout(data_bits=geometry.line_bits)
+        self.errors = LineErrorModel(
+            fault_map,
+            voltage,
+            rng if rng is not None else np.random.default_rng(0),
+            layout=self.layout,
+            lv_faults_in_ecc_cache=self.config.lv_faults_in_ecc_cache,
+            interleaved_parity=self.config.interleaved_parity,
+        )
+        self.ecc = EccCache(
+            self.config.ecc_entries(geometry.n_lines), self.config.ecc_assoc
+        )
+        self.soft_injector = soft_injector
+        self.dfh = np.full(geometry.n_lines, int(Dfh.INITIAL), dtype=np.uint8)
+        self.transitions: dict = {}
+        self.sdc_events = 0
+        self.hits_served = 0
+
+    # -- internals ---------------------------------------------------------
+
+    #: fill priority per DFH value (paper 4.4: b'01 > b'00 > b'10).
+    _PRIORITY = (1, 2, 0, 0)
+
+    def _line_id(self, set_index: int, way: int) -> int:
+        return set_index * self.geometry.associativity + way
+
+    def _dfh(self, line_id: int) -> Dfh:
+        return Dfh(int(self.dfh[line_id]))
+
+    def _fast_clean(self, line_id: int, dfh: Dfh) -> bool:
+        """May classification trivially conclude "no errors"?
+
+        False when the error vector is non-empty, or when inverted
+        write training is on and the line has real (possibly masked)
+        faults that the inverted read pair would expose.
+        """
+        if self.errors.is_dirty(line_id):
+            return False
+        if (
+            dfh is Dfh.INITIAL
+            and self.config.inverted_write_training
+            and self.errors.fault_map.has_faults(line_id)
+        ):
+            return len(self.errors.observable_fault_positions(line_id)) == 0
+        return True
+
+    def _signals(self, line_id: int, dfh: Dfh):
+        if dfh is Dfh.INITIAL:
+            if self.config.inverted_write_training:
+                # Section 5.6.2: the original+inverted read pair
+                # observes every active fault, masked or not.
+                return self.errors.signals_for_positions(
+                    self.errors.observable_fault_positions(line_id),
+                    self.config.training_segments,
+                    use_ecc=True,
+                )
+            return self.errors.signals(
+                line_id, self.config.training_segments, use_ecc=True
+            )
+        if dfh is Dfh.STABLE_1:
+            return self.errors.signals(
+                line_id, self.config.stable_segments, use_ecc=True
+            )
+        return self.errors.signals(
+            line_id, self.config.stable_segments, use_ecc=False
+        )
+
+    def _set_dfh(self, line_id: int, old: Dfh, new: Dfh) -> None:
+        if old is new:
+            return
+        self.dfh[line_id] = int(new)
+        key = (old.name, new.name)
+        self.transitions[key] = self.transitions.get(key, 0) + 1
+
+    def _apply_classification(
+        self, set_index: int, way: int, line_id: int, old: Dfh, cls: Classification
+    ) -> AccessOutcome:
+        """Commit a Table 2 classification and map it to a cache outcome."""
+        self._set_dfh(line_id, old, cls.next_dfh)
+        if cls.free_ecc_entry:
+            self.ecc.remove(set_index, way)
+
+        if cls.action is DfhAction.ERROR_MISS:
+            # The cache will invalidate or disable the line; drop our
+            # per-content state now (the tag store won't call back).
+            self.ecc.remove(set_index, way)
+            self.errors.clear(line_id)
+            if cls.next_dfh is Dfh.DISABLED:
+                return AccessOutcome.DISABLE_MISS
+            return AccessOutcome.RETRAIN_MISS
+
+        self.hits_served += 1
+        if cls.action is DfhAction.CORRECT_AND_SEND:
+            if not self.errors.correction_is_sound(line_id):
+                self.sdc_events += 1
+            if self.cache is not None:
+                self.cache.stats.bump("ecc_corrections")
+            # The line still needs its checkbits: promote the entry.
+            if self.ecc.contains(set_index, way):
+                self.ecc.touch(set_index, way)
+            return AccessOutcome.CORRECTED
+
+        # SEND_CLEAN: ground-truth corrupt data slipping through is an SDC
+        # (e.g. masked multi-bit faults that unmask in the same segment).
+        if self.errors.has_data_errors(line_id):
+            self.sdc_events += 1
+        if cls.next_dfh in (Dfh.INITIAL, Dfh.STABLE_1) and self.ecc.contains(
+            set_index, way
+        ):
+            self.ecc.touch(set_index, way)
+        return AccessOutcome.CLEAN
+
+    # -- ProtectionScheme hooks ---------------------------------------------
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        line_id = self._line_id(set_index, way)
+        dfh = self._dfh(line_id)
+        if dfh is Dfh.DISABLED:
+            raise AssertionError("fill into a disabled line")
+        tag = self.cache.tags.line(set_index, way).tag
+        self.errors.on_fill(line_id, salt=tag)
+        if dfh in (Dfh.INITIAL, Dfh.STABLE_1):
+            evicted = self.ecc.insert(set_index, way)
+            if evicted is not None:
+                self._handle_ecc_eviction(*evicted)
+
+    def _handle_ecc_eviction(self, set_index: int, way: int) -> None:
+        """An L2 line just lost its ECC-cache entry to contention.
+
+        The departing entry still holds the line's checkbits, so the
+        controller classifies the line on the way out (the same
+        hardware path as eviction training).  Lines found fault-free
+        transition to b'00 and stay resident — this is the paper's
+        "as cache lines are accessed or evicted, Killi discovers lines
+        with no errors ... reducing the number of cache misses due to
+        ECC cache evictions".  Lines that still need checkbits cannot
+        remain protected and are invalidated; lines with multi-bit
+        errors are disabled.
+        """
+        line_id = self._line_id(set_index, way)
+        dfh = self._dfh(line_id)
+        if dfh is Dfh.STABLE_0:
+            # Only the write-back variant protects b'00 (dirty) lines.
+            # Losing the checkbits leaves the dirty data parity-only;
+            # write it back now (invalidate_line handles the
+            # write-back) so a later fault cannot lose it.
+            if self.errors.has_data_errors(line_id):
+                self.sdc_events += 1  # corrupt dirty data written back
+            self.cache.invalidate_line(set_index, way, reason="ecc_evict")
+            return
+        if dfh not in (Dfh.INITIAL, Dfh.STABLE_1):
+            raise AssertionError("ECC entry existed for an unprotected line")
+        if self._fast_clean(line_id, dfh):
+            # Clean signals classify straight to b'00; line stays valid.
+            self._set_dfh(line_id, dfh, Dfh.STABLE_0)
+            self.cache.stats.bump("ecc_evict_reclassified_clean")
+            return
+        signals = self._signals(line_id, dfh)
+        cls = classify(
+            dfh,
+            signals.sp_mismatches,
+            signals.syndrome_zero,
+            signals.global_parity_ok,
+        )
+        self._set_dfh(line_id, dfh, cls.next_dfh)
+        if cls.next_dfh is Dfh.STABLE_0:
+            # Fault-free: 4-bit parity suffices; the line stays valid.
+            self.cache.stats.bump("ecc_evict_reclassified_clean")
+            return
+        if cls.next_dfh is Dfh.DISABLED:
+            self.cache.tags.disable(set_index, way)
+            self.cache.lru.demote(set_index, way)
+            self.cache.stats.bump("ecc_evict_disables")
+            self.errors.clear(line_id)
+            return
+        # Still needs SECDED (b'01 unresolved or b'10): unprotected
+        # data cannot stay resident.
+        self.cache.invalidate_line(set_index, way, reason="ecc_evict")
+
+    def on_read_hit(self, set_index: int, way: int) -> AccessOutcome:
+        line_id = self._line_id(set_index, way)
+        if self.soft_injector is not None:
+            offsets = self.soft_injector.sample_event(self.layout.total_bits)
+            if offsets is not None:
+                self.errors.add_soft_error(line_id, offsets)
+        else:
+            # Fast paths for lines whose classification is trivially
+            # clean — by far the most common case.  Clean signals
+            # classify b'00 as-is and b'01 / b'10 back to b'00
+            # (freeing the ECC entry), exactly what the full Table 2
+            # path would do.
+            value = int(self.dfh[line_id])
+            if self._fast_clean(line_id, Dfh(value)):
+                if value == int(Dfh.STABLE_0):
+                    self.hits_served += 1
+                    return AccessOutcome.CLEAN
+                if value in (int(Dfh.INITIAL), int(Dfh.STABLE_1)):
+                    self._set_dfh(line_id, Dfh(value), Dfh.STABLE_0)
+                    self.ecc.remove(set_index, way)
+                    self.hits_served += 1
+                    return AccessOutcome.CLEAN
+        dfh = self._dfh(line_id)
+        signals = self._signals(line_id, dfh)
+        cls = classify(
+            dfh,
+            signals.sp_mismatches,
+            signals.syndrome_zero,
+            signals.global_parity_ok,
+        )
+        return self._apply_classification(set_index, way, line_id, dfh, cls)
+
+    def on_write_hit(self, set_index: int, way: int) -> None:
+        line_id = self._line_id(set_index, way)
+        self.errors.on_write_hit(line_id)
+        if self.ecc.contains(set_index, way):
+            # New checkbits were generated and stored: promote.
+            self.ecc.touch(set_index, way)
+
+    def on_evict(self, set_index: int, way: int) -> None:
+        line_id = self._line_id(set_index, way)
+        dfh = self._dfh(line_id)
+        if dfh is Dfh.INITIAL and self.config.train_on_evict:
+            # Section 4.4: classify the evicted contents so training
+            # progresses without waiting for a hit.
+            if self._fast_clean(line_id, dfh):
+                self._set_dfh(line_id, dfh, Dfh.STABLE_0)
+            else:
+                signals = self._signals(line_id, dfh)
+                cls = classify(
+                    dfh,
+                    signals.sp_mismatches,
+                    signals.syndrome_zero,
+                    signals.global_parity_ok,
+                )
+                self._set_dfh(line_id, dfh, cls.next_dfh)
+                if cls.next_dfh is Dfh.DISABLED:
+                    self.cache.tags.disable(set_index, way)
+        self.ecc.remove(set_index, way)
+        self.errors.clear(line_id)
+
+    def on_invalidated(self, set_index: int, way: int) -> None:
+        line_id = self._line_id(set_index, way)
+        self.ecc.remove(set_index, way)
+        self.errors.clear(line_id)
+
+    def fill_priority(self, set_index: int, way: int) -> int:
+        if not self.config.priority_replacement:
+            return 0
+        line_id = set_index * self.geometry.associativity + way
+        return self._PRIORITY[int(self.dfh[line_id])]
+
+    def on_reset(self) -> None:
+        self.dfh[:] = int(Dfh.INITIAL)
+        self.ecc.clear()
+        self.errors.clear_all()
+
+    def change_voltage(self, voltage: float) -> None:
+        """Move the LV array to a new operating point (paper Sec 2.4).
+
+        Flushes the cache, resets every DFH bit to b'01 and relearns
+        the (different) fault population of the new voltage — Killi's
+        replacement for re-running MBIST.  Previously disabled lines
+        become available again (faults are monotonic, so raising the
+        voltage can only shrink the fault population).
+        """
+        if voltage < self.errors.fault_map.floor_voltage:
+            raise ValueError(
+                f"voltage {voltage} below the fault map floor "
+                f"{self.errors.fault_map.floor_voltage}"
+            )
+        self.voltage = voltage
+        self.errors.voltage = voltage
+        self.cache.reset()  # invalidates, re-enables, calls on_reset
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def dfh_histogram(self) -> dict:
+        """Count of lines per DFH state."""
+        values, counts = np.unique(self.dfh, return_counts=True)
+        return {Dfh(int(v)).name: int(c) for v, c in zip(values, counts)}
+
+    def disabled_fraction(self) -> float:
+        """Fraction of all lines currently in DFH b'11."""
+        return float(np.count_nonzero(self.dfh == int(Dfh.DISABLED))) / len(self.dfh)

@@ -1,0 +1,80 @@
+"""LV-resident bit layout of a Killi-protected line.
+
+All bits that live in low-voltage SRAM for one cache line, in a single
+fault-map coordinate space::
+
+    offset   0 ............ 511 | 512 ....... 527 | 528 ........... 538
+             data (512)         | parity (16)     | SECDED checkbits(11)
+
+- The first ``stable_segments`` (4) parity bits are resident in the
+  main cache; the remaining 12 live in the ECC cache and are only used
+  while the line is in DFH b'01 (training).
+- The 11 checkbits (10 Hamming + 1 global parity, stored in the ECC
+  cache) protect the 523-bit codeword = data + checkbits.
+
+The layout also maps LV offsets into SECDED codeword positions so the
+sparse error-vector model can compute syndromes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LineLayout"]
+
+
+@dataclass(frozen=True)
+class LineLayout:
+    """Bit layout of the LV-resident state of one line."""
+
+    data_bits: int = 512
+    max_parity_bits: int = 16
+    check_bits: int = 11
+
+    @property
+    def parity_offset(self) -> int:
+        """First parity-bit offset."""
+        return self.data_bits
+
+    @property
+    def check_offset(self) -> int:
+        """First checkbit offset."""
+        return self.data_bits + self.max_parity_bits
+
+    @property
+    def total_bits(self) -> int:
+        """All LV bits per line (539 for the paper configuration)."""
+        return self.data_bits + self.max_parity_bits + self.check_bits
+
+    @property
+    def gparity_offset(self) -> int:
+        """LV offset of the SECDED global-parity checkbit."""
+        return self.check_offset + self.check_bits - 1
+
+    @property
+    def codeword_bits(self) -> int:
+        """SECDED codeword length (data + checkbits)."""
+        return self.data_bits + self.check_bits
+
+    def is_data(self, offset: int) -> bool:
+        return 0 <= offset < self.data_bits
+
+    def is_parity(self, offset: int) -> bool:
+        return self.parity_offset <= offset < self.check_offset
+
+    def is_checkbit(self, offset: int) -> bool:
+        return self.check_offset <= offset < self.total_bits
+
+    def parity_index(self, offset: int) -> int:
+        """Which parity bit (0..15) an LV parity offset holds."""
+        if not self.is_parity(offset):
+            raise ValueError(f"offset {offset} is not in the parity region")
+        return offset - self.parity_offset
+
+    def codeword_position(self, offset: int) -> int | None:
+        """SECDED codeword position for an LV offset (None for parity bits)."""
+        if self.is_data(offset):
+            return offset
+        if self.is_checkbit(offset):
+            return self.data_bits + (offset - self.check_offset)
+        return None

@@ -1,0 +1,329 @@
+"""Per-line effective error vectors and the signals derived from them.
+
+The simulator does not materialise 512-bit line contents.  Because all
+of Killi's codes (segmented parity, SECDED) are *linear*, every signal
+the controller sees — which parity segments mismatch, whether the
+syndrome is zero, whether the global parity matches — depends only on
+the **error vector** between what was written and what reads back, not
+on the data value itself.
+
+For a persistent stuck-at fault the error bit is set iff the stuck
+value differs from the written bit, which for random write data is a
+fair coin ("masked fault" when the coin lands on equal).  So:
+
+- on every fill / write-through update of a line, the model resamples
+  which of the line's active faults are *unmasked*;
+- between writes the effective vector is stable, so repeated reads are
+  deterministic — exactly the persistence property the paper exploits;
+- soft errors XOR extra positions into the vector.
+
+This is exact with respect to the bit-accurate data path (see
+:mod:`repro.core.datapath`, cross-validated in the test suite) and
+keeps the per-access cost tiny: a fault-free line never touches any of
+this machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.layout import LineLayout
+from repro.ecc.secded import SecDedCode
+from repro.faults.fault_map import FaultMap
+
+__all__ = ["Signals", "LineErrorModel"]
+
+
+@dataclass(frozen=True)
+class Signals:
+    """The three controller-visible signals of paper Table 2."""
+
+    sp_mismatches: int
+    """Number of parity segments with a mismatch (0, 1, 2+)."""
+
+    syndrome_zero: bool
+    """SECDED syndrome is zero."""
+
+    global_parity_ok: bool
+    """SECDED global parity matches."""
+
+    data_error_bits: int = 0
+    """Ground truth (not controller-visible): flipped *data* bits.
+    Used by the harness to count silent data corruptions."""
+
+
+#: Signals of a line with no effective errors.
+_CLEAN = Signals(0, True, True, 0)
+
+
+class LineErrorModel:
+    """Tracks effective error vectors for every line of a cache.
+
+    Parameters
+    ----------
+    fault_map:
+        Persistent stuck-at faults (one entry per physical line id).
+    voltage:
+        Normalized operating voltage of the LV array.
+    rng:
+        Stream for the masking coin flips.
+    layout:
+        LV bit layout.
+    lv_faults_in_ecc_cache:
+        If False, bits stored in the ECC cache (parity bits 4..15 and
+        all checkbits) are considered fault-free (the ECC cache runs at
+        nominal voltage); if True (default) they fail like everything
+        else, matching the paper's analytic model.
+    interleaved_parity:
+        Segment mapping: interleaved (bit i -> segment i mod n, the
+        paper's choice, so adjacent soft-error bursts spread across
+        segments) or contiguous (bit i -> segment i div width, the
+        ablation).
+    """
+
+    def __init__(
+        self,
+        fault_map: FaultMap,
+        voltage: float,
+        rng: np.random.Generator,
+        layout: LineLayout | None = None,
+        lv_faults_in_ecc_cache: bool = True,
+        interleaved_parity: bool = True,
+    ):
+        self.fault_map = fault_map
+        self.voltage = voltage
+        self.rng = rng
+        self.layout = layout if layout is not None else LineLayout()
+        self.lv_faults_in_ecc_cache = lv_faults_in_ecc_cache
+        self.interleaved_parity = interleaved_parity
+        if fault_map.line_bits < self.layout.total_bits:
+            raise ValueError(
+                f"fault map covers {fault_map.line_bits} bits/line; layout "
+                f"needs {self.layout.total_bits}"
+            )
+        self._effective: dict = {}
+        self._secded = SecDedCode(self.layout.data_bits)
+        # LV offset of the boundary below which bits are always resident
+        # in the (LV) main cache: data + the 4 stable parity bits.
+        self._cache_resident_stop = self.layout.parity_offset + 4
+
+    # -- state updates ----------------------------------------------------
+
+    def is_dirty(self, line_id: int) -> bool:
+        """Fast check: does the line have a non-empty error vector?"""
+        return line_id in self._effective
+
+    #: Probability that a write-through update toggles the masking
+    #: state of each individual fault (new data at that bit position).
+    mask_flip_probability = 0.1
+
+    def _active_positions(self, line_id: int) -> np.ndarray:
+        positions, _ = self.fault_map.line_faults(line_id, self.voltage)
+        if not self.lv_faults_in_ecc_cache:
+            positions = positions[positions < self._cache_resident_stop]
+        return positions
+
+    @staticmethod
+    def _masking_coins(line_id: int, salt: int, positions: np.ndarray) -> np.ndarray:
+        """Deterministic fair coins per (line, data identity, fault).
+
+        A stuck-at cell is *masked* exactly when the written bit equals
+        its stuck value.  Data contents are identified by ``salt`` (the
+        cache tag): refilling the same address reinstalls the same
+        data, so the same faults are masked again — the property that
+        lets Killi's classification stabilise on read-mostly data.
+        """
+        mask64 = (1 << 64) - 1
+        x = positions.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+        x ^= np.uint64((line_id * 0xBF58476D1CE4E5B9) & mask64)
+        x ^= np.uint64(((salt + 1) * 0x94D049BB133111EB) & mask64)
+        # splitmix64 finalizer
+        x ^= x >> np.uint64(30)
+        x *= np.uint64(0xBF58476D1CE4E5B9)
+        x ^= x >> np.uint64(27)
+        x *= np.uint64(0x94D049BB133111EB)
+        x ^= x >> np.uint64(31)
+        return ((x >> np.uint64(13)) & np.uint64(1)).astype(bool)
+
+    def _store(self, line_id: int, effective: set) -> None:
+        if effective:
+            self._effective[line_id] = effective
+        else:
+            self._effective.pop(line_id, None)
+
+    def on_fill(self, line_id: int, salt: int = 0) -> None:
+        """New data (identified by ``salt``) installed into the line.
+
+        Unmasked faults are determined by the deterministic coins;
+        accumulated soft errors are overwritten.
+        """
+        if not self.fault_map.has_faults(line_id):
+            self._effective.pop(line_id, None)
+            return
+        positions = self._active_positions(line_id)
+        if len(positions) == 0:
+            self._effective.pop(line_id, None)
+            return
+        unmasked = positions[self._masking_coins(line_id, salt, positions)]
+        self._store(line_id, {int(p) for p in unmasked})
+
+    def on_write_hit(self, line_id: int) -> None:
+        """Write-through update of resident data.
+
+        Each fault's masking state toggles independently with
+        ``mask_flip_probability`` (the store changed the bit at the
+        faulty position); soft errors are overwritten.
+        """
+        if not self.fault_map.has_faults(line_id):
+            self._effective.pop(line_id, None)
+            return
+        positions = self._active_positions(line_id)
+        current = self._effective.get(line_id, set())
+        fault_set = {int(p) for p in positions}
+        effective = current & fault_set  # soft errors overwritten
+        if len(positions):
+            toggles = self.rng.random(len(positions)) < self.mask_flip_probability
+            for position in positions[toggles]:
+                position = int(position)
+                if position in effective:
+                    effective.discard(position)
+                else:
+                    effective.add(position)
+        self._store(line_id, set(effective))
+
+    def set_effective(self, line_id: int, offsets) -> None:
+        """Directly install an effective error vector (testing hook).
+
+        Used by the cross-validation tests to mirror a bit-accurate
+        data path's observed error vector into the sparse model.
+        """
+        offsets = {int(o) for o in offsets}
+        for offset in offsets:
+            if not 0 <= offset < self.layout.total_bits:
+                raise IndexError(f"offset {offset} outside the line layout")
+        self._store(line_id, offsets)
+
+    def add_soft_error(self, line_id: int, offsets) -> None:
+        """XOR transient bit flips into the line's error vector."""
+        current = self._effective.get(line_id, set())
+        current = set(current)
+        for offset in offsets:
+            offset = int(offset)
+            if not 0 <= offset < self.layout.total_bits:
+                raise IndexError(f"offset {offset} outside the line layout")
+            if offset in current:
+                current.discard(offset)
+            else:
+                current.add(offset)
+        if current:
+            self._effective[line_id] = current
+        else:
+            self._effective.pop(line_id, None)
+
+    def clear(self, line_id: int) -> None:
+        """Forget the line's error state (invalidation)."""
+        self._effective.pop(line_id, None)
+
+    def clear_all(self) -> None:
+        self._effective.clear()
+
+    # -- signal computation -------------------------------------------------
+
+    def error_positions(self, line_id: int) -> frozenset:
+        """The current effective error vector (LV offsets)."""
+        return frozenset(self._effective.get(line_id, ()))
+
+    def signals(self, line_id: int, n_segments: int, use_ecc: bool) -> Signals:
+        """Controller-visible signals for a read of ``line_id``.
+
+        ``n_segments`` selects the parity configuration in use (16
+        during training, 4 afterwards); ``use_ecc`` is False for DFH
+        b'00 lines whose ECC-cache entry has been freed.
+        """
+        effective = self._effective.get(line_id)
+        if not effective:
+            return _CLEAN
+        return self.signals_for_positions(effective, n_segments, use_ecc)
+
+    def observable_fault_positions(self, line_id: int) -> set:
+        """All positions the inverted-write flow observes.
+
+        Reading both the original and the inverted image exposes every
+        active fault (a stuck cell disagrees with exactly one
+        polarity) in addition to whatever soft errors are present.
+        """
+        positions = set(self._effective.get(line_id, ()))
+        active = self._active_positions(line_id)
+        positions.update(int(p) for p in active)
+        return positions
+
+    def signals_for_positions(
+        self, effective, n_segments: int, use_ecc: bool
+    ) -> Signals:
+        """Signals produced by an explicit error vector."""
+        if not effective:
+            return _CLEAN
+        layout = self.layout
+
+        # Segmented parity: a segment mismatches iff an odd number of
+        # its bits (data members + its own parity bit) flipped.
+        segment_flips = {}
+        data_errors = 0
+        codeword_flips = []
+        segment_width = layout.data_bits // n_segments
+        for offset in effective:
+            if layout.is_data(offset):
+                if self.interleaved_parity:
+                    segment = offset % n_segments
+                else:
+                    segment = offset // segment_width
+                segment_flips[segment] = segment_flips.get(segment, 0) + 1
+                data_errors += 1
+                codeword_flips.append(offset)
+            elif layout.is_parity(offset):
+                index = layout.parity_index(offset)
+                if index < n_segments:
+                    segment_flips[index] = segment_flips.get(index, 0) + 1
+            else:  # checkbit region
+                if use_ecc:
+                    codeword_flips.append(layout.codeword_position(offset))
+        sp_mismatches = sum(1 for count in segment_flips.values() if count & 1)
+
+        if not use_ecc:
+            return Signals(sp_mismatches, True, True, data_errors)
+        syndrome = self._secded.syndrome_of_error_positions(codeword_flips)
+        global_parity_ok = (len(codeword_flips) & 1) == 0
+        return Signals(sp_mismatches, syndrome == 0, global_parity_ok, data_errors)
+
+    def correction_is_sound(self, line_id: int, use_ecc: bool = True) -> bool:
+        """Would SECDED's single-error correction restore the true data?
+
+        True iff the codeword error vector has weight exactly one (the
+        decoder then flips precisely that bit).  When the controller
+        issues CORRECT_AND_SEND on a heavier vector the result is a
+        silent data corruption, which the harness counts.
+        """
+        effective = self._effective.get(line_id)
+        if not effective:
+            return True
+        codeword_flips = [
+            offset
+            for offset in effective
+            if self.layout.is_data(offset)
+            or (use_ecc and self.layout.is_checkbit(offset))
+        ]
+        if len(codeword_flips) == 1:
+            return True
+        # Heavier vectors: sound only if no *data* bit is wrong after
+        # the decoder's (mis)correction; conservatively require that
+        # no data bits are flipped at all.
+        return all(not self.layout.is_data(offset) for offset in codeword_flips)
+
+    def has_data_errors(self, line_id: int) -> bool:
+        """Ground truth: does the line currently return corrupt data bits?"""
+        effective = self._effective.get(line_id)
+        if not effective:
+            return False
+        return any(self.layout.is_data(offset) for offset in effective)

@@ -1,0 +1,84 @@
+"""Scrubber for reclaiming soft-error-disabled lines (paper footnote 7).
+
+A line can be disabled by the *combination* of one LV fault and a
+transient soft error (or a 2-bit soft error on a fault-free line).
+Those disables are spurious: the transient is gone after the next
+write.  The paper notes that "disabled lines due to soft errors can
+also be reclaimed by a scrubber" — this module implements that
+scrubber.
+
+The scrub walk visits disabled lines and resets their DFH to b'01,
+re-enabling the way.  Genuinely multi-faulted lines will simply be
+re-disabled the first time Killi's training touches them (one
+error-induced miss), while soft-error victims rejoin the usable
+capacity permanently.  ``interval`` paces the walk in scrub steps per
+call, modelling a background engine that inspects a few lines per
+epoch.
+"""
+
+from __future__ import annotations
+
+from repro.core.dfh import Dfh
+from repro.core.killi import KilliScheme
+
+__all__ = ["Scrubber"]
+
+
+class Scrubber:
+    """Background walker that gives disabled lines a second chance.
+
+    Parameters
+    ----------
+    scheme:
+        The Killi scheme whose lines are scrubbed (its attached cache
+        provides the tag store).
+    lines_per_step:
+        How many lines one :meth:`step` visits.
+    """
+
+    def __init__(self, scheme: KilliScheme, lines_per_step: int = 64):
+        if lines_per_step < 1:
+            raise ValueError("lines_per_step must be positive")
+        self.scheme = scheme
+        self.lines_per_step = lines_per_step
+        self._cursor = 0
+        self.reclaimed = 0
+        self.steps = 0
+
+    def step(self) -> int:
+        """Visit the next window of lines; returns how many it re-enabled."""
+        scheme = self.scheme
+        cache = scheme.cache
+        if cache is None:
+            raise RuntimeError("scheme is not attached to a cache")
+        geometry = scheme.geometry
+        n_lines = geometry.n_lines
+        reclaimed = 0
+        for _ in range(self.lines_per_step):
+            line_id = self._cursor
+            self._cursor = (self._cursor + 1) % n_lines
+            if int(scheme.dfh[line_id]) != int(Dfh.DISABLED):
+                continue
+            set_index, way = divmod(line_id, geometry.associativity)
+            line = cache.tags.line(set_index, way)
+            if not line.disabled:
+                continue
+            # Second chance: back to the initial (unknown) state.  The
+            # line is invalid, so the next fill re-runs training with
+            # fresh data (any transient is overwritten).
+            line.disabled = False
+            scheme._set_dfh(line_id, Dfh.DISABLED, Dfh.INITIAL)
+            scheme.errors.clear(line_id)
+            reclaimed += 1
+        self.reclaimed += reclaimed
+        self.steps += 1
+        return reclaimed
+
+    def full_sweep(self) -> int:
+        """Scrub every line once; returns the number re-enabled."""
+        geometry = self.scheme.geometry
+        total = 0
+        steps = (geometry.n_lines + self.lines_per_step - 1) // self.lines_per_step
+        for _ in range(steps):
+            total += self.step()
+        return total

@@ -1,0 +1,101 @@
+"""Common interface for block error-correcting codes.
+
+All codes in :mod:`repro.ecc` are *systematic* block codes over GF(2):
+``encode`` maps ``k`` data bits to ``n`` codeword bits whose first ``k``
+bits are the data verbatim, and ``decode`` maps a (possibly corrupted)
+``n``-bit word to a best-effort corrected data word plus a status that
+the cache controllers act on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DecodeStatus", "DecodeResult", "BlockCode"]
+
+
+class DecodeStatus(enum.Enum):
+    """Outcome of a decode attempt, as visible to the cache controller."""
+
+    CLEAN = "clean"
+    """Zero syndrome: the word is a valid codeword."""
+
+    CORRECTED = "corrected"
+    """Errors were detected and (believed) corrected."""
+
+    DETECTED = "detected"
+    """Errors were detected but are beyond the correction capability."""
+
+
+@dataclass
+class DecodeResult:
+    """Result of decoding a received word.
+
+    Attributes
+    ----------
+    data:
+        Best-effort corrected data bits (length ``k``).  For
+        ``DETECTED`` outcomes this is the received data unchanged.
+    status:
+        Controller-visible outcome.
+    corrected_positions:
+        Codeword positions the decoder flipped (empty unless
+        ``CORRECTED``).
+    syndrome_zero:
+        True iff the raw syndrome was zero.  Exposed separately because
+        Killi's DFH state machine keys on the syndrome and the global
+        parity independently (paper Table 2).
+    global_parity_ok:
+        For codes that carry an overall parity bit (SECDED and the
+        extended BCH codes): True iff the overall parity matched.  For
+        codes without one this mirrors ``syndrome_zero``.
+    """
+
+    data: np.ndarray
+    status: DecodeStatus
+    corrected_positions: tuple = field(default_factory=tuple)
+    syndrome_zero: bool = True
+    global_parity_ok: bool = True
+
+    @property
+    def detected_error(self) -> bool:
+        """True iff the decoder saw anything wrong at all."""
+        return self.status is not DecodeStatus.CLEAN
+
+
+class BlockCode:
+    """Abstract systematic block code.
+
+    Subclasses set ``k`` (data length), ``n`` (codeword length) and
+    therefore ``checkbits = n - k``, and implement :meth:`encode` and
+    :meth:`decode`.
+    """
+
+    k: int
+    n: int
+
+    @property
+    def checkbits(self) -> int:
+        """Number of redundant bits per codeword."""
+        return self.n - self.k
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode ``k`` data bits into an ``n``-bit codeword."""
+        raise NotImplementedError
+
+    def decode(self, received: np.ndarray) -> DecodeResult:
+        """Decode a received ``n``-bit word."""
+        raise NotImplementedError
+
+    # -- shared helpers -------------------------------------------------
+
+    def _check_data_length(self, data: np.ndarray) -> None:
+        if len(data) != self.k:
+            raise ValueError(f"expected {self.k} data bits, got {len(data)}")
+
+    def _check_codeword_length(self, word: np.ndarray) -> None:
+        if len(word) != self.n:
+            raise ValueError(f"expected {self.n} codeword bits, got {len(word)}")

@@ -1,0 +1,141 @@
+"""Arithmetic in the finite field GF(2^m).
+
+Provides log/antilog-table based multiplication, division and
+exponentiation used by the BCH encoder/decoder.  Elements are plain
+Python ints in ``[0, 2^m)``; addition is XOR.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GF2m", "DEFAULT_PRIMITIVE_POLYS"]
+
+# Primitive polynomials (as bit masks, including the x^m term) for the
+# field sizes the codes in this repo use.  E.g. m=10 -> x^10 + x^3 + 1.
+DEFAULT_PRIMITIVE_POLYS = {
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,
+    9: 0b1000010001,
+    10: 0b10000001001,
+    11: 0b100000000101,
+    12: 0b1000001010011,
+}
+
+
+class GF2m:
+    """The field GF(2^m) with a fixed primitive element alpha.
+
+    Parameters
+    ----------
+    m:
+        Field degree; the field has ``2^m`` elements.
+    primitive_poly:
+        Bit mask of the primitive polynomial (defaults to a standard
+        choice from :data:`DEFAULT_PRIMITIVE_POLYS`).
+    """
+
+    def __init__(self, m: int, primitive_poly: int | None = None):
+        if m not in DEFAULT_PRIMITIVE_POLYS and primitive_poly is None:
+            raise ValueError(f"no default primitive polynomial for m={m}")
+        self.m = m
+        self.size = 1 << m
+        self.order = self.size - 1  # multiplicative group order
+        poly = primitive_poly if primitive_poly is not None else DEFAULT_PRIMITIVE_POLYS[m]
+        self.primitive_poly = poly
+
+        # Build exp/log tables: exp[i] = alpha^i, log[exp[i]] = i.
+        self._exp = [0] * (2 * self.order)
+        self._log = [0] * self.size
+        x = 1
+        for i in range(self.order):
+            self._exp[i] = x
+            self._log[x] = i
+            x <<= 1
+            if x & self.size:
+                x ^= poly
+        if x != 1:
+            raise ValueError(f"polynomial {poly:#x} is not primitive for m={m}")
+        # Duplicate the table so exp[i + j] never needs an explicit mod.
+        for i in range(self.order, 2 * self.order):
+            self._exp[i] = self._exp[i - self.order]
+
+    def alpha_pow(self, i: int) -> int:
+        """alpha^i (exponent taken modulo the group order)."""
+        return self._exp[i % self.order]
+
+    def log(self, x: int) -> int:
+        """Discrete log base alpha; raises on 0."""
+        if x == 0:
+            raise ZeroDivisionError("log of zero in GF(2^m)")
+        return self._log[x]
+
+    def mul(self, a: int, b: int) -> int:
+        """Field product a * b."""
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def div(self, a: int, b: int) -> int:
+        """Field quotient a / b; raises on division by zero."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return self._exp[(self._log[a] - self._log[b]) % self.order]
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse of a."""
+        if a == 0:
+            raise ZeroDivisionError("inverse of zero in GF(2^m)")
+        return self._exp[(self.order - self._log[a]) % self.order]
+
+    def pow(self, a: int, e: int) -> int:
+        """a raised to the integer power e."""
+        if a == 0:
+            if e == 0:
+                return 1
+            if e < 0:
+                raise ZeroDivisionError("0 to a negative power")
+            return 0
+        return self._exp[(self._log[a] * e) % self.order]
+
+    def poly_eval(self, coeffs, x: int) -> int:
+        """Evaluate a polynomial (coeffs[i] is the x^i coefficient) at x."""
+        acc = 0
+        for c in reversed(coeffs):
+            acc = self.mul(acc, x) ^ c
+        return acc
+
+    def cyclotomic_coset(self, s: int) -> list:
+        """The 2-cyclotomic coset of ``s`` modulo ``2^m - 1``."""
+        coset = []
+        cur = s % self.order
+        while cur not in coset:
+            coset.append(cur)
+            cur = (cur * 2) % self.order
+        return sorted(coset)
+
+    def minimal_polynomial(self, s: int) -> list:
+        """Minimal polynomial of alpha^s over GF(2), as a GF(2) coeff list.
+
+        Returned list ``p`` satisfies ``p[i]`` = coefficient of x^i and
+        ``p[-1] == 1``.
+        """
+        coset = self.cyclotomic_coset(s)
+        # Multiply out prod_{j in coset} (x - alpha^j) using GF(2^m)
+        # coefficients; the result is guaranteed to lie in GF(2).
+        poly = [1]
+        for j in coset:
+            root = self.alpha_pow(j)
+            # poly * (x + root)
+            new = [0] * (len(poly) + 1)
+            for i, c in enumerate(poly):
+                new[i + 1] ^= c
+                new[i] ^= self.mul(c, root)
+            poly = new
+        if any(c not in (0, 1) for c in poly):
+            raise AssertionError("minimal polynomial has non-binary coefficient")
+        return poly

@@ -1,0 +1,179 @@
+"""Orthogonal Latin Square codes (OLSC) with majority-logic decoding.
+
+OLSC is the code family behind the MS-ECC baseline (Chishti et al.,
+MICRO'09) and behind Killi's low-Vmin variant (paper Section 5.5 /
+Table 7).  Its appeal in hardware is one-step majority-logic decoding:
+no iterative algebra, just parity trees and a majority gate per bit,
+at the cost of many checkbits (``2 t m`` for ``m^2`` data bits).
+
+Construction (``m`` prime): data bits are arranged in an ``m x m``
+square (shortened by zero-padding when ``k < m^2``).  Parity *groups*
+partition the square:
+
+- group 0: rows; group 1: columns;
+- group ``g >= 2``: the lines of slope ``c = g - 1`` of the affine
+  plane, i.e. cells with ``(c*i + j) mod m == s`` for ``s in [0, m)``.
+
+Any two checks from distinct groups intersect in exactly one cell, so
+every data bit lies in exactly ``2t`` checks that are otherwise
+disjoint — the condition for one-step majority decoding of ``t``
+errors: a bit is flipped iff more than ``t`` of its ``2t`` checks fail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ecc.base import BlockCode, DecodeResult, DecodeStatus
+
+__all__ = ["OlscCode", "olsc_checkbits"]
+
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    for p in range(2, int(n**0.5) + 1):
+        if n % p == 0:
+            return False
+    return True
+
+
+def olsc_checkbits(k: int, t: int, m: int | None = None) -> int:
+    """Checkbits of the OLSC code for ``k`` data bits correcting ``t``.
+
+    >>> olsc_checkbits(512, 11)
+    506
+    """
+    if m is None:
+        m = _default_square_side(k)
+    return 2 * t * m
+
+
+def _default_square_side(k: int) -> int:
+    """Smallest prime m with m^2 >= k."""
+    m = int(np.ceil(np.sqrt(k)))
+    while not _is_prime(m):
+        m += 1
+    return m
+
+
+class OlscCode(BlockCode):
+    """OLSC correcting ``t`` errors in ``k`` data bits.
+
+    Codeword layout: ``[data (k) | checkbits (2 t m)]`` where checkbit
+    ``g*m + s`` is the parity of check ``s`` of group ``g``.
+
+    Parameters
+    ----------
+    k:
+        Data bits (512 for a 64B line).
+    t:
+        Correction capability. Requires ``2t <= m + 1`` so that enough
+        mutually orthogonal groups exist.
+    m:
+        Square side; must be prime and satisfy ``m*m >= k``. Defaults
+        to the smallest prime with ``m^2 >= k`` (23 for k=512).
+    """
+
+    def __init__(self, k: int, t: int, m: int | None = None):
+        if t < 1:
+            raise ValueError("t must be >= 1")
+        if m is None:
+            m = _default_square_side(k)
+        if not _is_prime(m):
+            raise ValueError(f"square side m={m} must be prime")
+        if m * m < k:
+            raise ValueError(f"m^2 = {m*m} cannot hold {k} data bits")
+        if 2 * t > m + 1:
+            raise ValueError(f"at most {(m + 1) // 2} correctable errors for m={m}")
+        self.k = k
+        self.t = t
+        self.m = m
+        self.n_groups = 2 * t
+        self.n = k + self.n_groups * m
+
+        # checks_of[b] -> array of 2t check indices containing data bit b.
+        # members_of[c] -> array of data-bit indices in check c.
+        n_checks = self.n_groups * m
+        checks_of = np.zeros((k, self.n_groups), dtype=np.intp)
+        members: list = [[] for _ in range(n_checks)]
+        for b in range(k):
+            i, j = divmod(b, m)
+            for g in range(self.n_groups):
+                if g == 0:
+                    s = i
+                elif g == 1:
+                    s = j
+                else:
+                    s = ((g - 1) * i + j) % m
+                check = g * m + s
+                checks_of[b, g] = check
+                members[check].append(b)
+        self._checks_of = checks_of
+        self._members = [np.array(mbrs, dtype=np.intp) for mbrs in members]
+        self._n_checks = n_checks
+
+    def _check_values(self, data: np.ndarray) -> np.ndarray:
+        """Recompute all check parities from the data bits."""
+        values = np.zeros(self._n_checks, dtype=np.uint8)
+        flat = data.astype(np.uint8)
+        np.bitwise_xor.at(values, self._checks_of.ravel(), np.repeat(flat, self.n_groups))
+        return values
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        self._check_data_length(data)
+        word = np.zeros(self.n, dtype=np.uint8)
+        word[: self.k] = data
+        word[self.k :] = self._check_values(word[: self.k])
+        return word
+
+    def decode(self, received: np.ndarray) -> DecodeResult:
+        self._check_codeword_length(received)
+        data = received[: self.k].copy()
+        stored_checks = received[self.k :]
+        failing = self._check_values(data) ^ stored_checks
+        if not failing.any():
+            return DecodeResult(
+                data=data,
+                status=DecodeStatus.CLEAN,
+                syndrome_zero=True,
+                global_parity_ok=True,
+            )
+
+        # One-step majority logic: flip each data bit with > t of its
+        # 2t checks failing.
+        fail_counts = failing[self._checks_of].sum(axis=1)
+        flips = np.nonzero(fail_counts > self.t)[0]
+        corrected = data.copy()
+        corrected[flips] ^= 1
+
+        if len(flips) > self.t:
+            # More flips than the design capability: the error pattern
+            # exceeded t and the majority vote is unreliable.
+            return DecodeResult(
+                data=data,
+                status=DecodeStatus.DETECTED,
+                syndrome_zero=False,
+                global_parity_ok=False,
+            )
+
+        # Residual mismatching checks after data correction are, for
+        # error weight <= t, exactly the checks whose own stored parity
+        # bit flipped; they are "corrected" by recomputation.
+        residual = self._check_values(corrected) ^ stored_checks
+        check_positions = tuple(self.k + int(c) for c in np.nonzero(residual)[0])
+        positions = tuple(int(b) for b in flips) + check_positions
+        if len(positions) > self.t + self.t:  # weight clearly exceeds design
+            return DecodeResult(
+                data=data,
+                status=DecodeStatus.DETECTED,
+                syndrome_zero=False,
+                global_parity_ok=False,
+            )
+        return DecodeResult(
+            data=corrected,
+            status=DecodeStatus.CORRECTED,
+            corrected_positions=positions,
+            syndrome_zero=False,
+            global_parity_ok=False,
+        )

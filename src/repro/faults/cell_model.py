@@ -1,0 +1,156 @@
+"""SRAM cell failure-probability model (paper Figure 1).
+
+``Pcell(V, f)`` is modelled as piecewise-linear in (V, log10 Pcell)
+through a calibrated anchor table, separately for the two mechanisms
+the silicon tests measured:
+
+- **writeability** — the cell cannot change state within the wordline
+  pulse; the dominant (higher-probability) mechanism at LV;
+- **read disturb** — the cell flips state when read.
+
+Frequency dependence: the silicon data spans 400MHz-1GHz with failures
+monotonically increasing in frequency; we model a multiplicative
+``10^(alpha * (f_GHz - 1))`` factor (alpha > 0), which preserves the
+monotonicity the paper relies on.  All paper experiments run at 1GHz,
+where the factor is exactly 1.
+
+Voltages throughout are *normalized to nominal VDD* exactly as in the
+paper (the foundry data is confidential, so the paper itself only ever
+reports normalized voltages).
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_left
+
+import numpy as np
+
+__all__ = ["FaultMechanism", "CellFaultModel", "DEFAULT_ANCHORS"]
+
+
+class FaultMechanism(enum.Enum):
+    """Which silicon failure mechanism a probability refers to."""
+
+    WRITEABILITY = "writeability"
+    READ_DISTURB = "read_disturb"
+    COMBINED = "combined"
+
+
+# (normalized voltage, combined Pcell at 1GHz) anchors.  Calibrated so
+# that the derived per-line statistics hit the paper's published
+# anchors (see package docstring).  The writeability curve is the
+# combined curve scaled down so that writeability + read-disturb
+# recombine to these values.
+DEFAULT_ANCHORS = (
+    (0.500, 1.2e-1),
+    (0.550, 4.0e-2),
+    (0.575, 1.92e-2),
+    (0.600, 8.2e-3),
+    (0.625, 6.0e-5),
+    (0.650, 1.0e-6),
+    (0.675, 1.0e-8),
+    (0.700, 1.0e-9),
+    (1.000, 1.0e-10),
+)
+
+#: Read-disturb tracks writeability with the same V-shape at a lower
+#: magnitude (Figure 1 shows the two curves roughly parallel).
+READ_DISTURB_FACTOR = 0.4
+
+#: Frequency sensitivity: decades of Pcell per GHz.
+FREQUENCY_ALPHA = 2.0
+
+
+class CellFaultModel:
+    """Analytic Pcell(V, f) calibrated to the paper's anchors.
+
+    Parameters
+    ----------
+    anchors:
+        Sequence of (normalized_voltage, probability_at_1GHz) pairs for
+        the writeability mechanism, strictly increasing in voltage and
+        decreasing in probability.
+    read_disturb_factor:
+        Multiplier mapping the writeability curve to the read-disturb
+        curve.
+    frequency_alpha:
+        Decades of probability change per GHz of frequency change.
+    """
+
+    def __init__(
+        self,
+        anchors=DEFAULT_ANCHORS,
+        read_disturb_factor: float = READ_DISTURB_FACTOR,
+        frequency_alpha: float = FREQUENCY_ALPHA,
+    ):
+        anchors = sorted(anchors)
+        voltages = [v for v, _ in anchors]
+        probs = [p for _, p in anchors]
+        if len(anchors) < 2:
+            raise ValueError("need at least two anchors")
+        if any(p <= 0 or p >= 1 for p in probs):
+            raise ValueError("anchor probabilities must lie in (0, 1)")
+        if any(probs[i] <= probs[i + 1] for i in range(len(probs) - 1)):
+            raise ValueError("Pcell must strictly decrease with voltage")
+        self._voltages = voltages
+        self._log_probs = [float(np.log10(p)) for p in probs]
+        self.read_disturb_factor = read_disturb_factor
+        self.frequency_alpha = frequency_alpha
+
+    def _interp_log10(self, voltage: float) -> float:
+        """log10 Pcell at 1GHz by piecewise-linear interpolation.
+
+        Slopes are extrapolated beyond the anchor range (clamped to
+        probability <= 0.5 at the low end).
+        """
+        vs, lps = self._voltages, self._log_probs
+        if voltage <= vs[0]:
+            slope = (lps[1] - lps[0]) / (vs[1] - vs[0])
+            return lps[0] + slope * (voltage - vs[0])
+        if voltage >= vs[-1]:
+            slope = (lps[-1] - lps[-2]) / (vs[-1] - vs[-2])
+            return lps[-1] + slope * (voltage - vs[-1])
+        i = bisect_left(vs, voltage)
+        if vs[i] == voltage:
+            return lps[i]
+        frac = (voltage - vs[i - 1]) / (vs[i] - vs[i - 1])
+        return lps[i - 1] + frac * (lps[i] - lps[i - 1])
+
+    def p_cell(
+        self,
+        voltage: float,
+        freq_ghz: float = 1.0,
+        mechanism: FaultMechanism = FaultMechanism.COMBINED,
+    ) -> float:
+        """Per-cell failure probability at the given operating point.
+
+        ``voltage`` is normalized to nominal VDD.  The combined
+        mechanism is ``1 - (1-Pw)(1-Pr)``.
+        """
+        if voltage <= 0:
+            raise ValueError("voltage must be positive")
+        if freq_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        log_p = self._interp_log10(voltage)
+        log_p += self.frequency_alpha * (freq_ghz - 1.0)
+        p_combined = min(10.0**log_p, 0.5)
+        if mechanism is FaultMechanism.COMBINED:
+            return p_combined
+        # Split the combined curve into its two mechanisms such that
+        # 1 - (1-Pw)(1-Pr) == Pcombined with Pr = factor * Pw.  To first
+        # order Pw = Pcombined / (1 + factor), exact via the quadratic.
+        factor = self.read_disturb_factor
+        if factor == 0.0:
+            p_write = p_combined
+        else:
+            # factor*Pw^2 - (1+factor)*Pw + Pcombined == 0
+            disc = (1.0 + factor) ** 2 - 4.0 * factor * p_combined
+            p_write = ((1.0 + factor) - disc**0.5) / (2.0 * factor)
+        if mechanism is FaultMechanism.WRITEABILITY:
+            return min(p_write, 0.5)
+        return min(p_write * factor, 0.5)
+
+    def curve(self, voltages, freq_ghz: float = 1.0, mechanism=FaultMechanism.COMBINED):
+        """Vector of Pcell over an iterable of voltages (Figure 1 series)."""
+        return np.array([self.p_cell(v, freq_ghz, mechanism) for v in voltages])

@@ -1,0 +1,227 @@
+"""Persistent stuck-at fault maps over a cache geometry.
+
+LV SRAM failures are *persistent*: for a fixed voltage and frequency
+they affect the same cells on every access, and they are *monotonic*
+in voltage (a cell failing at V fails at every V' < V).  The paper
+leans on both properties — Killi only needs to discover each line's
+faults once per voltage.
+
+This module reproduces both properties by construction.  Each faulty
+cell is assigned a *failure threshold* ``u`` drawn uniformly from
+``(0, p_floor)`` where ``p_floor = Pcell(floor_voltage)``; the cell is
+faulty at voltage ``V`` iff ``u < Pcell(V)``.  Because ``Pcell`` is
+monotonically decreasing in voltage, fault sets shrink monotonically
+as voltage rises, exactly as in the silicon measurements.
+
+A faulty cell is *stuck at* a fixed value (0 or 1, equally likely).
+Writing the stuck value into the cell yields a **masked fault** — the
+paper's Section 4.3/5.6.2 scenario — with no modelling effort: reading
+back simply returns the written data until a later write unmasks it.
+
+The line layout mirrors Killi's LV-resident bits::
+
+    [ data (512) | parity (16) | ECC checkbits (11) ]
+
+Which ranges actually sit in LV SRAM depends on the scheme (Killi
+keeps 4 parity bits in the cache and the rest in the ECC cache); the
+map exposes region-windowed queries so each scheme models its own
+layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.cell_model import CellFaultModel, FaultMechanism
+
+__all__ = ["LineRegion", "FaultMap"]
+
+
+@dataclass(frozen=True)
+class LineRegion:
+    """A named bit range within a line's LV layout."""
+
+    name: str
+    offset: int
+    width: int
+
+    @property
+    def stop(self) -> int:
+        return self.offset + self.width
+
+    def contains(self, bit: int) -> bool:
+        return self.offset <= bit < self.stop
+
+
+class FaultMap:
+    """Sampled persistent fault map for ``n_lines`` lines.
+
+    Parameters
+    ----------
+    n_lines:
+        Number of physical lines covered (e.g. 32768 for a 2MB/64B L2).
+    line_bits:
+        LV bits per line (539 for data+parity+checkbits).
+    cell_model:
+        Pcell(V, f) model; defaults to the calibrated paper model.
+    freq_ghz:
+        Operating frequency.
+    floor_voltage:
+        Lowest voltage the map supports; faults are pre-sampled at
+        ``Pcell(floor_voltage)`` and thinned for higher voltages.
+    rng:
+        numpy Generator for sampling (deterministic maps come from
+        :class:`repro.utils.RngFactory` streams).
+    mechanism:
+        Failure mechanism to sample (combined by default).
+    """
+
+    def __init__(
+        self,
+        n_lines: int,
+        line_bits: int = 539,
+        cell_model: CellFaultModel | None = None,
+        freq_ghz: float = 1.0,
+        floor_voltage: float = 0.575,
+        rng: np.random.Generator | None = None,
+        mechanism: FaultMechanism = FaultMechanism.COMBINED,
+    ):
+        if n_lines < 1 or line_bits < 1:
+            raise ValueError("n_lines and line_bits must be positive")
+        self.n_lines = n_lines
+        self.line_bits = line_bits
+        self.cell_model = cell_model if cell_model is not None else CellFaultModel()
+        self.freq_ghz = freq_ghz
+        self.floor_voltage = floor_voltage
+        self.mechanism = mechanism
+        rng = rng if rng is not None else np.random.default_rng(0)
+
+        self.p_floor = self.cell_model.p_cell(floor_voltage, freq_ghz, mechanism)
+        counts = rng.binomial(line_bits, self.p_floor, size=n_lines)
+        # line -> (positions, thresholds, stuck values); only faulty lines.
+        self._faults: dict = {}
+        for line in np.nonzero(counts)[0]:
+            k = int(counts[line])
+            positions = np.sort(rng.choice(line_bits, size=k, replace=False))
+            thresholds = rng.uniform(0.0, self.p_floor, size=k)
+            values = rng.integers(0, 2, size=k, dtype=np.uint8)
+            self._faults[int(line)] = (positions, thresholds, values)
+
+    @classmethod
+    def from_faults(
+        cls,
+        n_lines: int,
+        faults: dict,
+        line_bits: int = 539,
+        floor_voltage: float = 0.5,
+    ) -> "FaultMap":
+        """Build a map with explicit stuck-at faults.
+
+        ``faults`` maps line -> iterable of (position, stuck_value).
+        The faults are active at every supported voltage.  Used for
+        directed tests and fault-injection studies.
+        """
+        import numpy as np  # local alias for clarity
+
+        fault_map = cls(
+            n_lines=n_lines,
+            line_bits=line_bits,
+            floor_voltage=floor_voltage,
+            rng=np.random.default_rng(0),
+        )
+        fault_map._faults = {}
+        for line, entries in faults.items():
+            entries = list(entries)
+            if not entries:
+                continue
+            positions = np.array([p for p, _ in entries], dtype=np.intp)
+            order = np.argsort(positions)
+            values = np.array([v for _, v in entries], dtype=np.uint8)[order]
+            thresholds = np.zeros(len(entries))  # active everywhere
+            fault_map._faults[int(line)] = (positions[order], thresholds, values)
+        return fault_map
+
+    def p_cell(self, voltage: float) -> float:
+        """Per-cell failure probability at ``voltage`` for this map."""
+        return self.cell_model.p_cell(voltage, self.freq_ghz, self.mechanism)
+
+    def _check_line(self, line: int) -> None:
+        if not 0 <= line < self.n_lines:
+            raise IndexError(f"line {line} out of range [0, {self.n_lines})")
+
+    def _check_voltage(self, voltage: float) -> None:
+        if voltage < self.floor_voltage:
+            raise ValueError(
+                f"voltage {voltage} below map floor {self.floor_voltage}"
+            )
+
+    def has_faults(self, line: int) -> bool:
+        """Fast check: any faults at all (at the map's floor voltage)?
+
+        A False here guarantees the line is fault-free at every
+        supported voltage (fault sets shrink as voltage rises).
+        """
+        return line in self._faults
+
+    def line_faults(self, line: int, voltage: float):
+        """(positions, stuck_values) active in ``line`` at ``voltage``."""
+        self._check_line(line)
+        self._check_voltage(voltage)
+        entry = self._faults.get(line)
+        if entry is None:
+            return _EMPTY_POSITIONS, _EMPTY_VALUES
+        positions, thresholds, values = entry
+        active = thresholds < self.p_cell(voltage)
+        return positions[active], values[active]
+
+    def fault_count(self, line: int, voltage: float, start: int = 0, stop: int | None = None) -> int:
+        """Number of active faults in ``line`` within ``[start, stop)``."""
+        positions, _ = self.line_faults(line, voltage)
+        if stop is None:
+            stop = self.line_bits
+        return int(np.count_nonzero((positions >= start) & (positions < stop)))
+
+    def apply(self, line: int, voltage: float, bits: np.ndarray, offset: int = 0) -> np.ndarray:
+        """Return ``bits`` as read back through the faulty cells.
+
+        ``bits`` occupies the window ``[offset, offset + len(bits))`` of
+        the line's LV layout; each active faulty cell in the window
+        reads as its stuck value regardless of what was written.
+        """
+        self._check_line(line)
+        positions, values = self.line_faults(line, voltage)
+        window = (positions >= offset) & (positions < offset + len(bits))
+        if not window.any():
+            return bits
+        out = bits.copy()
+        out[positions[window] - offset] = values[window]
+        return out
+
+    def is_fault_free(self, line: int, voltage: float) -> bool:
+        """True iff the line has no active faults at ``voltage``."""
+        positions, _ = self.line_faults(line, voltage)
+        return len(positions) == 0
+
+    def fault_count_histogram(self, voltage: float, start: int = 0, stop: int | None = None) -> dict:
+        """Map fault-count -> number of lines (empirical Figure 2)."""
+        self._check_voltage(voltage)
+        if stop is None:
+            stop = self.line_bits
+        hist: dict = {}
+        faulty_lines = 0
+        for line, (positions, thresholds, _) in self._faults.items():
+            active = thresholds < self.p_cell(voltage)
+            pos = positions[active]
+            count = int(np.count_nonzero((pos >= start) & (pos < stop)))
+            if count:
+                hist[count] = hist.get(count, 0) + 1
+                faulty_lines += 1
+        if self.n_lines > faulty_lines:
+            hist[0] = self.n_lines - faulty_lines
+        return hist
+
+
+_EMPTY_POSITIONS = np.empty(0, dtype=np.intp)
+_EMPTY_VALUES = np.empty(0, dtype=np.uint8)

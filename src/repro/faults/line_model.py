@@ -1,0 +1,90 @@
+"""Per-line fault statistics (paper Figure 2 and Table 7).
+
+Given a per-cell failure probability, the number of faults in an
+``n``-bit line is Binomial(n, p) — LV faults strike independent random
+cells.  This module provides the exact binomial quantities the paper's
+figures are built on:
+
+- fraction of lines with exactly 0 / exactly 1 / 2-or-more faults
+  (Figure 2);
+- fraction of lines with at most ``t`` faults — the usable capacity
+  under a ``t``-error-correcting scheme (Table 7's "% L2 capacity").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.faults.cell_model import CellFaultModel, FaultMechanism
+
+__all__ = ["LineFaultModel", "binom_pmf", "binom_cdf"]
+
+
+def binom_pmf(n: int, k: int, p: float) -> float:
+    """Exact Binomial(n, p) pmf at k, stable for tiny p."""
+    if not 0 <= k <= n:
+        return 0.0
+    if p == 0.0:
+        return 1.0 if k == 0 else 0.0
+    if p == 1.0:
+        return 1.0 if k == n else 0.0
+    log_pmf = (
+        math.lgamma(n + 1)
+        - math.lgamma(k + 1)
+        - math.lgamma(n - k + 1)
+        + k * math.log(p)
+        + (n - k) * math.log1p(-p)
+    )
+    return math.exp(log_pmf)
+
+
+def binom_cdf(n: int, k: int, p: float) -> float:
+    """P[Binomial(n, p) <= k]."""
+    return min(1.0, sum(binom_pmf(n, i, p) for i in range(0, k + 1)))
+
+
+@dataclass
+class LineFaultModel:
+    """Fault-count statistics for lines of ``line_bits`` bits.
+
+    Parameters
+    ----------
+    cell_model:
+        The Pcell(V, f) model.
+    line_bits:
+        Bits per line that sit in the LV array.  The paper's Figure 2
+        uses 64-byte (512-bit) data lines; the analytic coverage model
+        of Section 5.3 uses 523 (data + SECDED checkbits).
+    freq_ghz:
+        Operating frequency (paper experiments: 1GHz).
+    mechanism:
+        Which failure mechanism to count.
+    """
+
+    cell_model: CellFaultModel
+    line_bits: int = 512
+    freq_ghz: float = 1.0
+    mechanism: FaultMechanism = FaultMechanism.COMBINED
+
+    def p_cell(self, voltage: float) -> float:
+        """Per-cell failure probability at ``voltage``."""
+        return self.cell_model.p_cell(voltage, self.freq_ghz, self.mechanism)
+
+    def p_faults(self, voltage: float, k: int) -> float:
+        """P[line has exactly k faults]."""
+        return binom_pmf(self.line_bits, k, self.p_cell(voltage))
+
+    def p_at_most(self, voltage: float, t: int) -> float:
+        """P[line has at most t faults] — usable capacity under ``t``-EC."""
+        return binom_cdf(self.line_bits, t, self.p_cell(voltage))
+
+    def fractions(self, voltage: float) -> dict:
+        """Figure 2's three series: fraction of lines with 0 / 1 / >=2 faults."""
+        p0 = self.p_faults(voltage, 0)
+        p1 = self.p_faults(voltage, 1)
+        return {"zero": p0, "one": p1, "two_plus": max(0.0, 1.0 - p0 - p1)}
+
+    def expected_disabled_fraction(self, voltage: float, correctable: int) -> float:
+        """Fraction of lines disabled by a scheme correcting ``correctable`` faults."""
+        return max(0.0, 1.0 - self.p_at_most(voltage, correctable))

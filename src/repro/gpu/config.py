@@ -1,0 +1,66 @@
+"""GPU hardware configuration (paper Table 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.wtcache import CacheLatencies
+
+__all__ = ["GpuConfig"]
+
+
+def _default_l2() -> CacheGeometry:
+    return CacheGeometry(
+        size_bytes=2 * 1024 * 1024, line_bytes=64, associativity=16, banks=16
+    )
+
+
+def _default_l2_latencies() -> CacheLatencies:
+    # Table 3: L2 tag 2 cycles, data 2 cycles, SECDED/parity 1 cycle.
+    # The ECC cache (1+1 cycles) is hidden under the data access.
+    return CacheLatencies(tag=2, data=2, check=1, correction=1, memory=200)
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """The 8-CU GPU of paper Table 3.
+
+    Attributes
+    ----------
+    n_cus:
+        Number of compute units (8).
+    l1_size_bytes / l1_assoc:
+        Per-CU L1 (16KB; associativity not specified in the paper,
+        modelled as 4-way).
+    l1_hit_latency:
+        L1 hit cost in cycles.
+    l2:
+        Shared L2 geometry (2MB, 16-way, 64B lines, 16 banks).
+    l2_latencies:
+        L2 and memory cycle costs.
+    model_bank_conflicts:
+        Serialise same-round accesses to the same L2 bank (off by
+        default: the paper's results are insensitive to it and the
+        archived EXPERIMENTS.md numbers were produced without it).
+    bank_conflict_penalty:
+        Extra cycles per already-queued same-bank access in a round.
+    """
+
+    n_cus: int = 8
+    freq_ghz: float = 1.0
+    l1_size_bytes: int = 16 * 1024
+    l1_assoc: int = 4
+    l1_hit_latency: int = 1
+    l2: CacheGeometry = field(default_factory=_default_l2)
+    l2_latencies: CacheLatencies = field(default_factory=_default_l2_latencies)
+    model_bank_conflicts: bool = False
+    bank_conflict_penalty: int = 2
+
+    def l1_geometry(self) -> CacheGeometry:
+        """Geometry of one CU's L1."""
+        return CacheGeometry(
+            size_bytes=self.l1_size_bytes,
+            line_bytes=self.l2.line_bytes,
+            associativity=self.l1_assoc,
+        )

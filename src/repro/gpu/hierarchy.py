@@ -1,0 +1,54 @@
+"""Per-CU L1 cache.
+
+The L1s run at nominal voltage (only the L2 data array is
+under-volted in the paper), so they need no protection scheme — just a
+fast write-through, no-write-allocate filter in front of the L2.
+"""
+
+from __future__ import annotations
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement import LruState
+from repro.cache.setassoc import SetAssocCache
+from repro.cache.stats import CacheStats
+
+__all__ = ["SimpleL1"]
+
+
+class SimpleL1:
+    """Write-through, no-write-allocate L1 with LRU replacement."""
+
+    def __init__(self, geometry: CacheGeometry):
+        self.geometry = geometry
+        self.tags = SetAssocCache(geometry)
+        self.lru = LruState(geometry.n_sets, geometry.associativity)
+        self.stats = CacheStats()
+
+    def read(self, addr: int) -> bool:
+        """Read; returns True on hit.  Misses allocate."""
+        self.stats.reads += 1
+        set_index = self.geometry.set_of(addr)
+        way = self.tags.lookup(addr)
+        if way is not None:
+            self.stats.read_hits += 1
+            self.lru.touch(set_index, way)
+            return True
+        self.stats.read_misses += 1
+        victim = self.lru.recency_order(set_index)[-1]
+        if self.tags.line(set_index, victim).valid:
+            self.stats.evictions += 1
+        self.tags.insert(addr, victim)
+        self.stats.fills += 1
+        self.lru.touch(set_index, victim)
+        return False
+
+    def write(self, addr: int) -> bool:
+        """Write-through; updates the copy on hit, never allocates."""
+        self.stats.writes += 1
+        way = self.tags.lookup(addr)
+        if way is not None:
+            self.stats.write_hits += 1
+            self.lru.touch(self.geometry.set_of(addr), way)
+            return True
+        self.stats.write_misses += 1
+        return False

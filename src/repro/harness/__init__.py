@@ -1,0 +1,40 @@
+"""Experiment harness.
+
+One runner per table/figure of the paper's evaluation (see DESIGN.md's
+experiment index), a scheme factory shared by all of them, and a CLI
+(``killi-experiment``) that prints the regenerated rows/series next to
+the paper's numbers recorded in EXPERIMENTS.md.
+"""
+
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    fig1_cell_pfail,
+    fig2_line_distribution,
+    fig4_fig5_performance,
+    fig6_coverage,
+    make_scheme,
+    run_experiment,
+    scheme_names,
+    table4_strong_ecc,
+    table5_area,
+    table6_power,
+    table7_olsc,
+)
+from repro.harness.results import PerfPoint, PerformanceMatrix
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "make_scheme",
+    "scheme_names",
+    "fig1_cell_pfail",
+    "fig2_line_distribution",
+    "fig4_fig5_performance",
+    "fig6_coverage",
+    "table4_strong_ecc",
+    "table5_area",
+    "table6_power",
+    "table7_olsc",
+    "PerfPoint",
+    "PerformanceMatrix",
+]

@@ -1,0 +1,193 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Each runner compares Killi with one mechanism toggled:
+
+- :func:`ablate_priority_replacement` — the DFH-ordered victim choice
+  (paper Section 4.4) vs plain LRU-among-invalid.
+- :func:`ablate_eviction_training` — classify-on-evict vs hits-only.
+- :func:`ablate_inverted_write_training` — the Section 5.6.2
+  masked-fault mitigation on/off (SDC counts).
+- :func:`ablate_ecc_ratio` — the ECC-cache size sweep on one workload.
+- :func:`ablate_writeback` — write-through vs write-back Killi.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cache.wbcache import WriteBackCache
+from repro.cache.wtcache import WriteThroughCache
+from repro.core import KilliConfig, KilliScheme, KilliWriteBackScheme
+from repro.faults import FaultMap
+from repro.gpu import GpuConfig, GpuSimulator
+from repro.traces import workload_trace
+from repro.utils.rng import RngFactory
+
+__all__ = [
+    "ablate_priority_replacement",
+    "ablate_eviction_training",
+    "ablate_inverted_write_training",
+    "ablate_ecc_ratio",
+    "ablate_parity_interleaving",
+    "ablate_writeback",
+]
+
+LV_VOLTAGE = 0.625
+
+
+def _run_killi(
+    workload: str,
+    config: KilliConfig,
+    accesses_per_cu: int,
+    seed: int,
+    scheme_cls=KilliScheme,
+    cache_cls=None,
+):
+    """One (workload, Killi-config) simulation; returns (result, scheme)."""
+    rngs = RngFactory(seed)
+    gpu_config = GpuConfig()
+    fault_map = FaultMap(n_lines=gpu_config.l2.n_lines, rng=rngs.stream("fault-map"))
+    trace = workload_trace(
+        workload, accesses_per_cu, n_cus=gpu_config.n_cus,
+        rng=rngs.stream(f"trace/{workload}"),
+    )
+    scheme = scheme_cls(
+        gpu_config.l2, fault_map, LV_VOLTAGE, config, rng=rngs.stream("mask")
+    )
+    simulator = GpuSimulator(gpu_config, scheme)
+    if cache_cls is not None:
+        simulator.l2 = cache_cls(gpu_config.l2, scheme, gpu_config.l2_latencies)
+    result = simulator.run(trace)
+    return result, scheme, simulator
+
+
+def _summary(result, scheme) -> Dict:
+    return {
+        "cycles": result.cycles,
+        "mpki": result.l2_mpki,
+        "misses": result.l2_stats.misses,
+        "error_induced_misses": result.l2_stats.error_induced_misses,
+        "ecc_evict_invalidations": result.l2_stats.ecc_evict_invalidations,
+        "sdc_events": scheme.sdc_events,
+        "dfh": scheme.dfh_histogram(),
+    }
+
+
+def ablate_priority_replacement(
+    workload: str = "fft", ecc_ratio: int = 64,
+    accesses_per_cu: int = 8000, seed: int = 42,
+) -> Dict[str, Dict]:
+    """Killi's DFH-priority victim selection on vs off."""
+    out = {}
+    for label, enabled in (("priority", True), ("plain_lru", False)):
+        config = KilliConfig(ecc_ratio=ecc_ratio, priority_replacement=enabled)
+        result, scheme, _ = _run_killi(workload, config, accesses_per_cu, seed)
+        out[label] = _summary(result, scheme)
+    return out
+
+
+def ablate_eviction_training(
+    workload: str = "fft", ecc_ratio: int = 64,
+    accesses_per_cu: int = 8000, seed: int = 42,
+) -> Dict[str, Dict]:
+    """Classify-on-evict (Section 4.4) on vs off."""
+    out = {}
+    for label, enabled in (("train_on_evict", True), ("hits_only", False)):
+        config = KilliConfig(ecc_ratio=ecc_ratio, train_on_evict=enabled)
+        result, scheme, _ = _run_killi(workload, config, accesses_per_cu, seed)
+        summary = _summary(result, scheme)
+        summary["trained_fraction"] = 1.0 - (
+            scheme.dfh_histogram().get("INITIAL", 0) / len(scheme.dfh)
+        )
+        out[label] = summary
+    return out
+
+
+def ablate_inverted_write_training(
+    workload: str = "miniamr", ecc_ratio: int = 64,
+    accesses_per_cu: int = 8000, seed: int = 42,
+) -> Dict[str, Dict]:
+    """Inverted-write masked-fault mitigation (Section 5.6.2) on vs off."""
+    out = {}
+    for label, enabled in (("inverted", True), ("plain", False)):
+        config = KilliConfig(ecc_ratio=ecc_ratio, inverted_write_training=enabled)
+        result, scheme, _ = _run_killi(workload, config, accesses_per_cu, seed)
+        out[label] = _summary(result, scheme)
+    return out
+
+
+def ablate_ecc_ratio(
+    workload: str = "fft", ratios=(256, 64, 16),
+    accesses_per_cu: int = 8000, seed: int = 42,
+) -> Dict[str, Dict]:
+    """The paper's own sweep, exposed as an ablation on one workload."""
+    out = {}
+    for ratio in ratios:
+        config = KilliConfig(ecc_ratio=ratio)
+        result, scheme, _ = _run_killi(workload, config, accesses_per_cu, seed)
+        out[f"1:{ratio}"] = _summary(result, scheme)
+    return out
+
+
+def ablate_parity_interleaving(
+    rate_per_access: float = 0.05,
+    accesses: int = 30000,
+    seed: int = 42,
+) -> Dict[str, Dict]:
+    """Interleaved vs contiguous parity under adjacent 2-bit bursts.
+
+    Paper Section 4.1: interleaving exists so that spatially-adjacent
+    multi-bit soft errors land in different segments.  With contiguous
+    segments a 2-bit burst in a (parity-only) b'00 line falls in one
+    segment — even count, invisible — and is served as corrupt data.
+    """
+    from repro.cache.geometry import CacheGeometry
+    from repro.cache.wtcache import WriteThroughCache
+    from repro.faults.soft_errors import SoftErrorInjector
+
+    geometry = CacheGeometry(size_bytes=256 * 1024, line_bytes=64, associativity=16)
+    out = {}
+    for label, interleaved in (("interleaved", True), ("contiguous", False)):
+        rngs = RngFactory(seed)
+        fault_map = FaultMap(n_lines=geometry.n_lines, rng=rngs.stream("fault-map"))
+        scheme = KilliScheme(
+            geometry, fault_map, LV_VOLTAGE,
+            KilliConfig(ecc_ratio=32, interleaved_parity=interleaved),
+            rng=rngs.stream("mask"),
+            soft_injector=SoftErrorInjector(
+                rate_per_access, burst_pmf={2: 1.0}, rng=rngs.stream("soft")
+            ),
+        )
+        cache = WriteThroughCache(geometry, scheme)
+        rng = rngs.stream("traffic")
+        addrs = rng.integers(0, geometry.size_bytes * 3 // 2, size=accesses)
+        for addr in addrs:
+            cache.read(int(addr) & ~63)
+        out[label] = {
+            "sdc_events": scheme.sdc_events,
+            "detected": cache.stats.error_induced_misses,
+        }
+    return out
+
+
+def ablate_writeback(
+    workload: str = "lulesh", ecc_ratio: int = 64,
+    accesses_per_cu: int = 8000, seed: int = 42,
+) -> Dict[str, Dict]:
+    """Write-through Killi vs the write-back extension (Section 5.6.1)."""
+    out = {}
+    config = KilliConfig(ecc_ratio=ecc_ratio)
+    result, scheme, sim = _run_killi(workload, config, accesses_per_cu, seed)
+    summary = _summary(result, scheme)
+    summary["memory_writes"] = sim.l2.memory_writes
+    out["write_through"] = summary
+
+    result, scheme, sim = _run_killi(
+        workload, config, accesses_per_cu, seed,
+        scheme_cls=KilliWriteBackScheme, cache_cls=WriteBackCache,
+    )
+    summary = _summary(result, scheme)
+    summary["memory_writes"] = sim.l2.memory_writes
+    summary["due_on_dirty"] = sim.l2.stats.extra.get("due_on_dirty", 0)
+    out["write_back"] = summary
+    return out

@@ -1,0 +1,216 @@
+"""``killi-experiment`` command-line interface.
+
+Examples::
+
+    killi-experiment table5
+    killi-experiment fig6
+    killi-experiment fig4 --accesses 10000 --workloads fft xsbench
+    killi-experiment all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import experiments
+from repro.utils.tables import format_table
+
+__all__ = ["main"]
+
+
+def _print_series(title: str, data: dict) -> None:
+    keys = [k for k in data if k != "voltage"]
+    rows = list(zip(data["voltage"], *(data[k] for k in keys)))
+    print(format_table(["voltage"] + keys, rows, title=title))
+    print()
+
+
+def _run_fig1() -> None:
+    _print_series("Figure 1: SRAM cell Pfail vs normalized VDD", experiments.fig1_cell_pfail())
+
+
+def _run_fig2() -> None:
+    _print_series("Figure 2: % lines with 0/1/2+ faults", experiments.fig2_line_distribution())
+
+
+def _run_fig6() -> None:
+    _print_series("Figure 6: % lines correctly classified", experiments.fig6_coverage())
+
+
+def _run_perf(args) -> None:
+    matrix = experiments.fig4_fig5_performance(
+        workloads=args.workloads or None,
+        accesses_per_cu=args.accesses,
+        seed=args.seed,
+    )
+    print(matrix.fig4_table())
+    print()
+    print(matrix.fig5_table())
+    print()
+    table6 = experiments.table6_power(matrix)
+    print(format_table(
+        ["scheme", "normalized power %"],
+        [(k, f"{v:.1f}") for k, v in table6.items()],
+        title="Table 6: normalized power (with measured memory traffic)",
+    ))
+
+
+def _run_table4() -> None:
+    data = experiments.table4_strong_ecc()
+    ratios = list(next(iter(data.values())))
+    rows = [[code] + [f"{data[code][r]:.2f}" for r in ratios] for code in data]
+    print(format_table(["code"] + ratios, rows, title="Table 4: Killi storage vs SECDED"))
+
+
+def _run_table5() -> None:
+    data = experiments.table5_area()
+    rows = [
+        [name, f"{v['ratio']:.2f}", f"{v['percent']:.2f}%"] for name, v in data.items()
+    ]
+    print(format_table(["scheme", "ratio vs SECDED", "% of L2"], rows, title="Table 5: area"))
+
+
+def _run_table6() -> None:
+    data = experiments.table6_power()
+    rows = [(k, f"{v:.1f}") for k, v in data.items()]
+    print(format_table(["scheme", "normalized power %"], rows, title="Table 6: power"))
+
+
+def _run_table7() -> None:
+    data = experiments.table7_olsc()
+    rows = [
+        (v, f"{d['capacity_pct']:.1f}%", f"{100 * d['killi_vs_msecc']:.0f}%")
+        for v, d in data.items()
+    ]
+    print(format_table(
+        ["voltage", "L2 capacity target", "Killi area vs MS-ECC"],
+        rows,
+        title="Table 7: Killi w/OLSC vs MS-ECC",
+    ))
+
+
+def _run_sec55(args) -> None:
+    data = experiments.sec55_lower_vmin(accesses_per_cu=min(args.accesses, 8000))
+    rows = []
+    for key in ("baseline", "msecc", "killi_secded_1:8", "killi_olsc_1:8"):
+        row = data[key]
+        rows.append([
+            key,
+            f"{row.get('normalized_time', 1.0):.3f}",
+            f"{row['mpki']:.1f}",
+            f"{row['disabled_fraction']:.2%}",
+        ])
+    print(format_table(
+        ["scheme", "normalized time", "MPKI", "disabled lines"],
+        rows,
+        title=f"Section 5.5 at {data['voltage']} VDD ({data['workload']})",
+    ))
+
+
+def _export_csv(args) -> None:
+    """Write the selected experiment's raw data as CSV files."""
+    import os
+
+    from repro.harness.export import (
+        matrix_to_csv,
+        nested_table_to_csv,
+        series_to_csv,
+        write_csv,
+    )
+
+    os.makedirs(args.csv, exist_ok=True)
+
+    def path(name: str) -> str:
+        return os.path.join(args.csv, f"{name}.csv")
+
+    name = args.experiment
+    if name in ("fig1", "fig2", "fig6"):
+        runner = {
+            "fig1": experiments.fig1_cell_pfail,
+            "fig2": experiments.fig2_line_distribution,
+            "fig6": experiments.fig6_coverage,
+        }[name]
+        write_csv(path(name), series_to_csv(runner()))
+    elif name in ("table4", "table5"):
+        runner = {
+            "table4": experiments.table4_strong_ecc,
+            "table5": experiments.table5_area,
+        }[name]
+        write_csv(path(name), nested_table_to_csv(runner()))
+    elif name == "table6":
+        table = experiments.table6_power()
+        write_csv(
+            path(name),
+            nested_table_to_csv({k: {"power_pct": v} for k, v in table.items()},
+                                row_label="scheme"),
+        )
+    elif name in ("fig4", "fig5"):
+        matrix = experiments.fig4_fig5_performance(
+            workloads=args.workloads or None,
+            accesses_per_cu=args.accesses,
+            seed=args.seed,
+        )
+        write_csv(path("fig4_fig5"), matrix_to_csv(matrix))
+    print(f"CSV written under {args.csv}/")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="killi-experiment",
+        description="Regenerate the Killi paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["fig1", "fig2", "fig4", "fig5", "fig6",
+                 "table4", "table5", "table6", "table7", "sec55", "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--accesses", type=int, default=30000,
+        help="accesses per CU for simulation experiments (default 30000)",
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", default=None,
+        help="restrict Figure 4/5 to these workloads",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shrink simulation experiments (5000 accesses per CU)",
+    )
+    parser.add_argument(
+        "--csv", metavar="DIR", default=None,
+        help="also write the experiment's data as CSV into DIR",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.accesses = 5000
+    if args.csv:
+        _export_csv(args)
+
+    analytic = {
+        "fig1": _run_fig1,
+        "fig2": _run_fig2,
+        "fig6": _run_fig6,
+        "table4": _run_table4,
+        "table5": _run_table5,
+        "table6": _run_table6,
+        "table7": _run_table7,
+    }
+    if args.experiment in ("fig4", "fig5"):
+        _run_perf(args)
+    elif args.experiment == "sec55":
+        _run_sec55(args)
+    elif args.experiment == "all":
+        for runner in analytic.values():
+            runner()
+            print()
+        _run_perf(args)
+    else:
+        analytic[args.experiment]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Voltage-sweep performance runner.
+
+Complements the fixed-0.625 Figure 4/5 matrix: runs one workload under
+Killi across a range of voltages, reporting the performance overhead,
+the disabled-capacity fraction, and the power saving at each point —
+the Vmin trade-off curve an adopter would actually consult.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.analysis.power import PowerModel
+from repro.cache.protection import UnprotectedScheme
+from repro.core import KilliConfig, KilliScheme
+from repro.faults import FaultMap
+from repro.gpu import GpuConfig, GpuSimulator
+from repro.traces import workload_trace
+from repro.utils.rng import RngFactory
+
+__all__ = ["voltage_sweep"]
+
+
+def voltage_sweep(
+    voltages: Iterable[float] = (0.7, 0.675, 0.65, 0.625, 0.615),
+    workload: str = "lulesh",
+    ecc_ratio: int = 64,
+    accesses_per_cu: int = 5000,
+    seed: int = 42,
+) -> Dict[float, Dict]:
+    """Killi's overhead/capacity/power across operating voltages.
+
+    Returns ``{voltage: {"normalized_time", "mpki", "disabled_fraction",
+    "power_pct"}}``.  Voltages below the fault-map floor are rejected.
+    """
+    rngs = RngFactory(seed)
+    gpu_config = GpuConfig()
+    fault_map = FaultMap(n_lines=gpu_config.l2.n_lines, rng=rngs.stream("fault-map"))
+    trace = workload_trace(
+        workload, accesses_per_cu, n_cus=gpu_config.n_cus,
+        rng=rngs.stream(f"trace/{workload}"),
+    )
+    baseline = GpuSimulator(gpu_config, UnprotectedScheme()).run(trace)
+    power_model = PowerModel()
+
+    out: Dict[float, Dict] = {}
+    for voltage in voltages:
+        scheme = KilliScheme(
+            gpu_config.l2, fault_map, voltage, KilliConfig(ecc_ratio=ecc_ratio),
+            rng=rngs.stream(f"mask/{voltage}"),
+        )
+        result = GpuSimulator(gpu_config, scheme).run(trace)
+        out[voltage] = {
+            "normalized_time": result.cycles / baseline.cycles,
+            "mpki": result.l2_mpki,
+            "disabled_fraction": scheme.disabled_fraction(),
+            "power_pct": power_model.scheme_power(
+                "killi", voltage, ecc_ratio=ecc_ratio
+            ),
+        }
+    return out

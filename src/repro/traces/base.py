@@ -1,0 +1,58 @@
+"""Trace containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+__all__ = ["CuStream", "Trace"]
+
+
+@dataclass
+class CuStream:
+    """One CU's in-order memory stream.
+
+    Attributes
+    ----------
+    addrs:
+        Byte addresses (int64), one per memory operation.
+    is_store:
+        True for stores.
+    gaps:
+        Compute cycles (and, one-for-one, non-memory instructions)
+        executed before each memory operation.
+    """
+
+    addrs: np.ndarray
+    is_store: np.ndarray
+    gaps: np.ndarray
+
+    def __post_init__(self):
+        if not (len(self.addrs) == len(self.is_store) == len(self.gaps)):
+            raise ValueError("stream arrays must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    @property
+    def instructions(self) -> int:
+        """Instructions this stream represents: gaps + memory ops."""
+        return int(np.sum(self.gaps)) + len(self.addrs)
+
+
+@dataclass
+class Trace:
+    """A kernel's traffic: one stream per CU."""
+
+    name: str
+    streams: List[CuStream]
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(len(s) for s in self.streams)
+
+    @property
+    def instructions(self) -> int:
+        return sum(s.instructions for s in self.streams)

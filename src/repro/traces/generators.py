@@ -1,0 +1,132 @@
+"""Parameterised synthetic GPGPU trace generation.
+
+A workload is described by a small set of cache-behaviour parameters
+(footprint, sweep/random mix, hot-set locality, store fraction,
+compute intensity) and compiled into per-CU address streams:
+
+- **sweep** accesses stream sequentially through the (shared)
+  footprint, each CU starting at its own offset — the GPU idiom of
+  partitioned grid sweeps.  A footprint just under the L2 capacity
+  makes repeated sweeps hit ~100% in steady state but *extremely*
+  sensitive to lost capacity (the FFT behaviour in the paper); a
+  footprint well above capacity streams and misses regardless (SNAP).
+- **random** accesses draw from a hot-set/cold-set mixture over the
+  footprint, modelling irregular lookups (XSBench's cross-section
+  tables).
+- **gaps** (compute cycles between memory ops) set the compute- vs
+  memory-bound character and, one-for-one, the non-memory instruction
+  count used for MPKI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.base import CuStream, Trace
+
+__all__ = ["WorkloadSpec", "generate_trace"]
+
+_LINE = 64  # address alignment granule
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Cache-behaviour description of one synthetic workload.
+
+    Parameters
+    ----------
+    name:
+        Workload name (matches the paper's Figure 4/5 x-axis).
+    footprint_bytes:
+        Total shared data footprint.
+    sweep_fraction:
+        Fraction of accesses that stream sequentially.
+    hot_fraction:
+        Fraction of the footprint forming the hot set.
+    hot_weight:
+        Probability a random access targets the hot set.
+    store_fraction:
+        Fraction of accesses that are stores.
+    mean_gap:
+        Mean compute cycles (= non-memory instructions) between memory
+        operations; low values make the workload memory-bound.
+    description:
+        One-line behaviour summary.
+    """
+
+    name: str
+    footprint_bytes: int
+    sweep_fraction: float = 0.5
+    hot_fraction: float = 0.1
+    hot_weight: float = 0.5
+    store_fraction: float = 0.15
+    mean_gap: float = 10.0
+    description: str = ""
+
+    def __post_init__(self):
+        if self.footprint_bytes < _LINE:
+            raise ValueError("footprint must hold at least one line")
+        for field_name in ("sweep_fraction", "hot_fraction", "hot_weight", "store_fraction"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1]")
+        if self.mean_gap < 0:
+            raise ValueError("mean_gap must be non-negative")
+
+
+def generate_trace(
+    spec: WorkloadSpec,
+    accesses_per_cu: int,
+    n_cus: int = 8,
+    rng: np.random.Generator | None = None,
+) -> Trace:
+    """Compile a :class:`WorkloadSpec` into a :class:`Trace`.
+
+    Deterministic given the rng state; each CU gets an independent
+    stream over the shared footprint.
+    """
+    if accesses_per_cu < 1:
+        raise ValueError("accesses_per_cu must be positive")
+    if n_cus < 1:
+        raise ValueError("n_cus must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    n_lines = max(1, spec.footprint_bytes // _LINE)
+    hot_lines = max(1, int(n_lines * spec.hot_fraction))
+
+    streams = []
+    for cu in range(n_cus):
+        n = accesses_per_cu
+        is_sweep = rng.random(n) < spec.sweep_fraction
+
+        # Sweep component: a cursor advancing one line per sweep
+        # access, starting at this CU's partition offset.
+        start_line = (cu * n_lines) // max(1, n_cus)
+        sweep_steps = np.cumsum(is_sweep.astype(np.int64))
+        sweep_lines = (start_line + sweep_steps) % n_lines
+
+        # Random component: hot/cold mixture.
+        go_hot = rng.random(n) < spec.hot_weight
+        hot_addrs = rng.integers(0, hot_lines, size=n, dtype=np.int64)
+        cold_addrs = rng.integers(0, n_lines, size=n, dtype=np.int64)
+        random_lines = np.where(go_hot, hot_addrs, cold_addrs)
+
+        lines = np.where(is_sweep, sweep_lines, random_lines)
+        addrs = lines * _LINE
+
+        is_store = rng.random(n) < spec.store_fraction
+        if spec.mean_gap > 0:
+            # Geometric gaps with the requested mean.
+            gaps = rng.geometric(1.0 / (spec.mean_gap + 1.0), size=n) - 1
+        else:
+            gaps = np.zeros(n, dtype=np.int64)
+        streams.append(
+            CuStream(
+                addrs=addrs.astype(np.int64),
+                is_store=is_store,
+                gaps=gaps.astype(np.int64),
+            )
+        )
+    return Trace(name=spec.name, streams=streams)

@@ -1,0 +1,47 @@
+"""Trace persistence.
+
+Saving a generated trace lets experiments re-run against byte-identical
+traffic (and lets users bring their own traces from real tools: any
+per-CU ``(addrs, is_store, gaps)`` triple loads into the simulator).
+
+Format: a single ``.npz`` with three arrays per CU plus a name field —
+portable, compressed, and loadable without this package.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.base import CuStream, Trace
+
+__all__ = ["save_trace", "load_trace"]
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write ``trace`` to ``path`` as a compressed .npz archive."""
+    arrays = {"name": np.array(trace.name), "n_cus": np.array(len(trace.streams))}
+    for cu, stream in enumerate(trace.streams):
+        arrays[f"addrs_{cu}"] = np.asarray(stream.addrs, dtype=np.int64)
+        arrays[f"is_store_{cu}"] = np.asarray(stream.is_store, dtype=bool)
+        arrays[f"gaps_{cu}"] = np.asarray(stream.gaps, dtype=np.int64)
+    np.savez_compressed(path, **arrays)
+
+
+def load_trace(path: str) -> Trace:
+    """Load a trace previously written by :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            name = str(archive["name"])
+            n_cus = int(archive["n_cus"])
+        except KeyError as exc:
+            raise ValueError(f"{path} is not a saved trace archive") from exc
+        streams = []
+        for cu in range(n_cus):
+            streams.append(
+                CuStream(
+                    addrs=archive[f"addrs_{cu}"],
+                    is_store=archive[f"is_store_{cu}"],
+                    gaps=archive[f"gaps_{cu}"],
+                )
+            )
+    return Trace(name=name, streams=streams)

@@ -1,0 +1,42 @@
+"""Shared low-level utilities for the Killi reproduction.
+
+This package hosts the substrate shared by every other subsystem:
+
+- :mod:`repro.utils.bitvec` — bit vectors on top of ``numpy`` used by the
+  error-coding substrate and the bit-accurate cache data path.
+- :mod:`repro.utils.rng` — deterministic, named random streams so that
+  fault maps, traces and soft-error injection are independently seeded
+  and reproducible.
+- :mod:`repro.utils.units` — storage-size helpers (bits/bytes/KiB).
+- :mod:`repro.utils.tables` — plain-text table rendering for the
+  experiment harness output.
+"""
+
+from repro.utils.bitvec import (
+    bits_from_bytes,
+    bits_from_int,
+    bits_to_bytes,
+    bits_to_int,
+    parity,
+    popcount,
+    random_bits,
+    zeros,
+)
+from repro.utils.rng import RngFactory
+from repro.utils.tables import format_table
+from repro.utils.units import bits_to_kib, format_size_bits
+
+__all__ = [
+    "bits_from_bytes",
+    "bits_from_int",
+    "bits_to_bytes",
+    "bits_to_int",
+    "parity",
+    "popcount",
+    "random_bits",
+    "zeros",
+    "RngFactory",
+    "format_table",
+    "bits_to_kib",
+    "format_size_bits",
+]

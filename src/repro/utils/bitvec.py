@@ -1,0 +1,98 @@
+"""Bit-vector helpers backed by numpy arrays.
+
+Throughout the code base a *bit vector* is a one-dimensional
+``numpy.ndarray`` with ``dtype=uint8`` whose entries are 0 or 1.  Index 0
+is the least-significant bit when converting to and from integers.  The
+error-coding substrate (:mod:`repro.ecc`) treats these as vectors over
+GF(2); the cache data path treats them as raw line contents.
+
+Using plain arrays (rather than a wrapper class) keeps the hot paths in
+the simulator free of Python attribute lookups and lets callers use
+ordinary numpy operations (``^`` for GF(2) addition, slicing for
+segmentation, ``np.count_nonzero`` for weights).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "zeros",
+    "ones",
+    "random_bits",
+    "bits_from_int",
+    "bits_to_int",
+    "bits_from_bytes",
+    "bits_to_bytes",
+    "popcount",
+    "parity",
+    "flip_bits",
+]
+
+
+def zeros(n: int) -> np.ndarray:
+    """Return an all-zero bit vector of length ``n``."""
+    return np.zeros(n, dtype=np.uint8)
+
+
+def ones(n: int) -> np.ndarray:
+    """Return an all-one bit vector of length ``n``."""
+    return np.ones(n, dtype=np.uint8)
+
+
+def random_bits(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Return ``n`` uniformly random bits drawn from ``rng``."""
+    return rng.integers(0, 2, size=n, dtype=np.uint8)
+
+
+def bits_from_int(value: int, n: int) -> np.ndarray:
+    """Convert a non-negative integer to an ``n``-bit vector (LSB first).
+
+    Raises ``ValueError`` if ``value`` does not fit in ``n`` bits.
+    """
+    if value < 0:
+        raise ValueError("bit vectors encode non-negative integers only")
+    if value >> n:
+        raise ValueError(f"value {value} does not fit in {n} bits")
+    out = np.empty(n, dtype=np.uint8)
+    for i in range(n):
+        out[i] = (value >> i) & 1
+    return out
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Convert a bit vector (LSB first) back to a Python integer."""
+    value = 0
+    for i in np.nonzero(bits)[0]:
+        value |= 1 << int(i)
+    return value
+
+
+def bits_from_bytes(data: bytes) -> np.ndarray:
+    """Unpack ``bytes`` into a bit vector, LSB-first within each byte."""
+    arr = np.frombuffer(data, dtype=np.uint8)
+    return np.unpackbits(arr, bitorder="little")
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack a bit vector (length divisible by 8) back into ``bytes``."""
+    if len(bits) % 8:
+        raise ValueError("bit vector length must be a multiple of 8")
+    return np.packbits(bits, bitorder="little").tobytes()
+
+
+def popcount(bits: np.ndarray) -> int:
+    """Number of set bits."""
+    return int(np.count_nonzero(bits))
+
+
+def parity(bits: np.ndarray) -> int:
+    """Even parity of the vector: 0 if the weight is even, 1 if odd."""
+    return int(np.count_nonzero(bits) & 1)
+
+
+def flip_bits(bits: np.ndarray, positions) -> np.ndarray:
+    """Return a copy of ``bits`` with the given positions flipped."""
+    out = bits.copy()
+    out[np.asarray(positions, dtype=np.intp)] ^= 1
+    return out

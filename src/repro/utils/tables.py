@@ -1,0 +1,54 @@
+"""Plain-text table rendering for harness output.
+
+The experiment harness prints every reproduced table/figure as an
+aligned ASCII table so the output can be diffed against the paper's
+numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    ``headers`` labels the columns; each row must have the same arity.
+    Floats are rendered with 4 significant digits.
+    """
+    str_rows = [[_render_cell(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row arity does not match header arity")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence) -> str:
+    """Render an (x, y) series as a two-column table titled ``name``."""
+    return format_table(["x", name], list(zip(xs, ys)))

@@ -1,0 +1,127 @@
+"""Tests for the storage-area model (paper Tables 4, 5, 7)."""
+
+import pytest
+
+from repro.analysis.area import (
+    AreaModel,
+    killi_area_bits,
+    killi_ecc_entry_bits,
+    per_line_scheme_bits,
+)
+from repro.utils.units import bits_to_kib
+
+
+@pytest.fixture(scope="module")
+def area():
+    return AreaModel()  # the paper's 2MB L2
+
+
+class TestBuildingBlocks:
+    def test_per_line_bits(self):
+        assert per_line_scheme_bits("secded") == 12  # 11 + disable bit
+        assert per_line_scheme_bits("dected") == 22
+        assert per_line_scheme_bits("tecqed") == 32
+        assert per_line_scheme_bits("6ec7ed") == 62
+
+    def test_ecc_entry_is_41_bits(self):
+        # Table 3: "ECC cache line size: 41 bits".
+        assert killi_ecc_entry_bits("secded") == 41
+
+    def test_dected_fits_free(self):
+        # Section 5.2: DECTED's 21 bits fit in the 23-bit payload.
+        assert killi_ecc_entry_bits("dected") == 41
+
+    def test_stronger_codes_grow_entry(self):
+        assert killi_ecc_entry_bits("tecqed") == 61
+        assert killi_ecc_entry_bits("6ec7ed") == 91
+
+
+class TestTable5:
+    def test_killi_kb_match_paper(self, area):
+        # Paper: "the Killi area overhead ranges from 24.6KB (1:256)
+        # to 34.25KB (1:16)".
+        assert bits_to_kib(killi_area_bits(32768, 256)) == pytest.approx(24.6, abs=0.1)
+        assert bits_to_kib(killi_area_bits(32768, 16)) == pytest.approx(34.25, abs=0.01)
+
+    def test_ratios_match_paper(self, area):
+        paper = {256: 0.51, 128: 0.52, 64: 0.55, 32: 0.60, 16: 0.71}
+        for ratio, expected in paper.items():
+            assert area.ratio_vs_secded("killi", ratio) == pytest.approx(
+                expected, abs=0.02
+            )
+
+    def test_dected_ratio(self, area):
+        # Paper row: 1.9 (we compute 22/12 = 1.83).
+        assert area.ratio_vs_secded("dected") == pytest.approx(1.9, abs=0.1)
+
+    def test_percent_of_l2(self, area):
+        assert area.percent_of_l2("secded") == pytest.approx(2.3, abs=0.1)
+        assert area.percent_of_l2("dected") == pytest.approx(4.3, abs=0.1)
+        assert area.percent_of_l2("msecc") == pytest.approx(38.6, abs=0.5)
+        assert area.percent_of_l2("killi", 256) == pytest.approx(1.2, abs=0.05)
+        assert area.percent_of_l2("killi", 16) == pytest.approx(1.67, abs=0.05)
+
+    def test_flair_equals_secded(self, area):
+        assert area.scheme_bits("flair") == area.scheme_bits("secded")
+
+    def test_killi_requires_ratio(self, area):
+        with pytest.raises(ValueError):
+            area.scheme_bits("killi")
+
+    def test_table5_structure(self, area):
+        table = area.table5()
+        assert table["secded"]["ratio"] == 1.0
+        assert set(table) >= {"dected", "msecc", "secded", "killi_1:256", "killi_1:16"}
+
+
+class TestTable4:
+    PAPER = {
+        "dected": {256: 0.51, 128: 0.53, 64: 0.55, 32: 0.61, 16: 0.71},
+        "tecqed": {256: 0.52, 128: 0.54, 64: 0.58, 32: 0.66, 16: 0.82},
+        "6ec7ed": {256: 0.53, 128: 0.56, 64: 0.62, 32: 0.74, 16: 0.97},
+    }
+
+    def test_every_cell_matches_paper(self, area):
+        table = area.table4()
+        for code, row in self.PAPER.items():
+            for ratio, expected in row.items():
+                assert table[code][f"1:{ratio}"] == pytest.approx(
+                    expected, abs=0.015
+                ), (code, ratio)
+
+    def test_6ec7ed_at_1_16_still_below_secded(self, area):
+        # The paper's headline: even 6EC7ED at the largest ECC cache
+        # costs less than per-line SECDED.
+        assert area.ratio_vs_secded("killi", 16, "6ec7ed") < 1.0
+
+
+class TestTable7:
+    def test_killi_much_smaller_at_0600(self, area):
+        # Paper Table 7: 17% (text says 21%); shape: far below MS-ECC.
+        value = area.table7_killi_vs_msecc(olsc_t=11, ecc_ratio=8)
+        assert 0.1 < value < 0.25
+
+    def test_killi_closer_at_0575(self, area):
+        # Paper: 65% (text 72%).
+        value = area.table7_killi_vs_msecc(olsc_t=11, ecc_ratio=2)
+        assert 0.45 < value < 0.75
+
+    def test_monotone_in_ratio(self, area):
+        values = [
+            area.table7_killi_vs_msecc(11, ratio) for ratio in (16, 8, 4, 2, 1)
+        ]
+        assert all(values[i] < values[i + 1] for i in range(4))
+
+
+class TestScaling:
+    def test_area_scales_with_cache_size(self):
+        small = AreaModel(n_lines=16384)
+        large = AreaModel(n_lines=32768)
+        assert large.scheme_bits("killi", 64) == 2 * small.scheme_bits("killi", 64)
+
+    def test_percent_independent_of_size(self):
+        small = AreaModel(n_lines=16384)
+        large = AreaModel(n_lines=32768)
+        assert small.percent_of_l2("killi", 64) == pytest.approx(
+            large.percent_of_l2("killi", 64)
+        )

@@ -1,0 +1,124 @@
+"""Tests for the Section 5.3 coverage model (Figure 6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.coverage import CoverageModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CoverageModel()
+
+
+class TestKilliCoverage:
+    def test_near_perfect_at_0625(self, model):
+        # Paper: at the operating point every technique classifies
+        # correctly; Killi is essentially perfect.
+        assert model.killi_coverage(0.625) > 0.999999
+
+    def test_killi_survives_low_voltage(self, model):
+        # Figure 6: "only Killi and FLAIR ... provide near 100%
+        # coverage" below 0.6 VDD.
+        assert model.killi_coverage(0.575) > 0.98
+        assert model.killi_coverage(0.55) > 0.98
+
+    def test_high_coverage_across_range(self, model):
+        # Killi's curve is not monotone (at extreme fault rates most
+        # patterns have >= 2 odd segments and parity catches them) but
+        # it stays near 100% across the whole Figure 6 voltage range —
+        # the property the paper claims.
+        for v in [0.525, 0.55, 0.575, 0.6, 0.625, 0.65]:
+            assert model.killi_coverage(v) > 0.97
+
+    def test_detection_coverages_monotone(self, model):
+        # Pure detection-based techniques *are* monotone in voltage.
+        voltages = [0.55, 0.575, 0.6, 0.625, 0.65]
+        for series in (model.secded_coverage, model.dected_coverage,
+                       model.msecc_coverage):
+            values = [series(v) for v in voltages]
+            assert all(values[i] <= values[i + 1] + 1e-12 for i in range(4))
+
+    def test_product_structure(self, model):
+        # P_fail(Killi) = P_fail(SECDED) * P_fail(parity): exactly the
+        # paper's independence assumption.
+        v = 0.58
+        assert model.p_fail_killi(v) == pytest.approx(
+            model.p_fail_secded(v) * model.p_fail_seg_parity_paper(v)
+        )
+
+    def test_paper_formula_close_to_exact(self, model):
+        # The published binomial approximation should track the exact
+        # multinomial within an order of magnitude in the region where
+        # it matters.
+        for v in [0.575, 0.6]:
+            paper = model.p_fail_seg_parity_paper(v)
+            exact = model.p_fail_seg_parity_exact(v)
+            assert paper > 0 and exact > 0
+            assert 0.1 < paper / exact < 10
+
+    def test_exact_mode_available(self, model):
+        assert 0 <= model.p_fail_killi(0.6, exact=True) <= 1
+
+
+class TestComparisonTechniques:
+    def test_figure6_ordering_at_0575(self, model):
+        # At 0.575: SECDED << DECTED << MS-ECC < FLAIR/Killi.
+        v = 0.575
+        secded = model.secded_coverage(v)
+        dected = model.dected_coverage(v)
+        msecc = model.msecc_coverage(v)
+        killi = model.killi_coverage(v)
+        flair = model.flair_coverage(v)
+        assert secded < dected < msecc
+        assert msecc < killi
+        assert secded < 0.05
+        assert flair > 0.9
+
+    def test_all_perfect_at_0625(self, model):
+        # Paper: "Up to 0.6 VDD all techniques correctly classify"
+        # (i.e. at and above 0.625 in our calibration).
+        v = 0.625
+        for coverage in (
+            model.secded_coverage(v),
+            model.dected_coverage(v),
+            model.msecc_coverage(v),
+            model.flair_coverage(v),
+            model.killi_coverage(v),
+        ):
+            assert coverage > 0.999
+
+    def test_msecc_collapses_below_0575(self, model):
+        assert model.msecc_coverage(0.55) < 0.2
+
+    def test_coverage_table_structure(self, model):
+        table = model.coverage_table([0.6, 0.625])
+        assert set(table) == {"voltage", "secded", "dected", "msecc", "flair", "killi"}
+        assert len(table["killi"]) == 2
+
+    @given(st.floats(min_value=0.52, max_value=0.7))
+    @settings(max_examples=30)
+    def test_probabilities_in_range(self, voltage):
+        model = CoverageModel()
+        for value in (
+            model.p_fail_secded(voltage),
+            model.p_fail_seg_parity_paper(voltage),
+            model.p_fail_seg_parity_exact(voltage),
+            model.killi_coverage(voltage),
+        ):
+            assert 0.0 <= value <= 1.0
+
+
+class TestMaskedSdc:
+    def test_paper_anchor(self, model):
+        # Section 5.6.2: "We determined the probability of such a
+        # scenario to be 0.003%."
+        probability = model.masked_sdc_probability(0.625)
+        assert probability == pytest.approx(3e-5, rel=0.25)
+
+    def test_grows_at_lower_voltage(self, model):
+        assert model.masked_sdc_probability(0.6) > model.masked_sdc_probability(0.625)
+
+    def test_tiny_at_high_voltage(self, model):
+        assert model.masked_sdc_probability(0.675) < 1e-12

@@ -1,0 +1,54 @@
+"""Tests for the Vmin analyzer."""
+
+import math
+
+import pytest
+
+from repro.analysis.vmin import VminAnalyzer
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return VminAnalyzer()
+
+
+class TestVmin:
+    def test_paper_headline(self, analyzer):
+        # "V_min ... can be reduced to 62.5% of nominal VDD".
+        assert analyzer.vmin("killi") == pytest.approx(0.62, abs=0.01)
+
+    def test_ordering(self, analyzer):
+        table = analyzer.table()
+        # Stronger correction -> lower Vmin.
+        assert table["msecc"] < table["dected"] < table["secded"] + 1e-9
+        assert table["killi+olsc"] < table["killi"]
+
+    def test_killi_matches_secded_capacity_limit(self, analyzer):
+        # Both correct one error; the capacity target binds first.
+        assert analyzer.vmin("killi") == pytest.approx(
+            analyzer.vmin("secded"), abs=0.006
+        )
+
+    def test_meets_targets(self, analyzer):
+        assert analyzer.meets_targets("killi", 0.7)
+        assert not analyzer.meets_targets("killi", 0.55)
+        with pytest.raises(KeyError):
+            analyzer.meets_targets("nope", 0.7)
+
+    def test_unreachable_targets(self):
+        analyzer = VminAnalyzer(capacity_target=1.0 - 1e-18)
+        assert math.isnan(analyzer.vmin("secded", lo=0.5, hi=0.55))
+
+    def test_stricter_targets_raise_vmin(self):
+        loose = VminAnalyzer(capacity_target=0.9)
+        strict = VminAnalyzer(capacity_target=0.9999)
+        assert strict.vmin("dected") >= loose.vmin("dected")
+
+
+class TestInterleavingAblation:
+    def test_interleaving_prevents_burst_sdcs(self):
+        from repro.harness.ablations import ablate_parity_interleaving
+
+        out = ablate_parity_interleaving(accesses=6000)
+        assert out["interleaved"]["sdc_events"] * 10 < out["contiguous"]["sdc_events"]
+        assert out["interleaved"]["detected"] > out["contiguous"]["detected"]

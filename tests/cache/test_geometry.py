@@ -1,0 +1,81 @@
+"""Tests for cache geometry / address mapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+
+
+@pytest.fixture(scope="module")
+def l2():
+    """The paper's Table 3 L2."""
+    return CacheGeometry(
+        size_bytes=2 * 1024 * 1024, line_bytes=64, associativity=16, banks=16
+    )
+
+
+class TestPaperL2:
+    def test_dimensions(self, l2):
+        assert l2.n_lines == 32768
+        assert l2.n_sets == 2048
+        assert l2.line_bits == 512
+
+    def test_bank_count(self, l2):
+        banks = {l2.bank_of(addr) for addr in range(0, 1 << 20, 64)}
+        assert banks == set(range(16))
+
+
+class TestValidation:
+    def test_non_pow2_line(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1024, line_bytes=48)
+
+    def test_bad_division(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1000, line_bytes=64, associativity=16)
+
+    def test_non_pow2_sets(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=3 * 64 * 16, line_bytes=64, associativity=16)
+
+    def test_too_many_banks(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=64 * 16 * 2, line_bytes=64,
+                          associativity=16, banks=4)
+
+
+class TestMapping:
+    def test_line_address_strips_offset(self, l2):
+        assert l2.line_address(0x12345) == 0x12345 & ~63
+
+    def test_same_line_same_set(self, l2):
+        assert l2.set_of(0x1000) == l2.set_of(0x103F)
+
+    def test_consecutive_lines_consecutive_sets(self, l2):
+        assert l2.set_of(64) == (l2.set_of(0) + 1) % l2.n_sets
+
+    def test_tag_set_round_trip(self, l2):
+        for addr in [0, 64, 0x1FFFC0, 0xABCDE0 & ~63]:
+            reconstructed = l2.addr_of(l2.tag_of(addr), l2.set_of(addr))
+            assert reconstructed == l2.line_address(addr)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    @settings(max_examples=100)
+    def test_round_trip_property(self, addr):
+        geo = CacheGeometry(size_bytes=64 * 1024, line_bytes=64, associativity=4)
+        assert geo.addr_of(geo.tag_of(addr), geo.set_of(addr)) == geo.line_address(addr)
+
+    def test_line_id_bijection(self, l2):
+        seen = set()
+        for set_index in [0, 5, 2047]:
+            for way in range(16):
+                line_id = l2.line_id(set_index, way)
+                assert line_id not in seen
+                seen.add(line_id)
+
+    def test_line_id_bounds(self, l2):
+        with pytest.raises(IndexError):
+            l2.line_id(2048, 0)
+        with pytest.raises(IndexError):
+            l2.line_id(0, 16)

@@ -1,0 +1,49 @@
+"""Shared fixtures for the Killi reproduction test suite."""
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.faults.cell_model import CellFaultModel
+from repro.faults.fault_map import FaultMap
+from repro.utils.rng import RngFactory
+
+
+@pytest.fixture
+def rngs() -> RngFactory:
+    """Deterministic named RNG streams for a test."""
+    return RngFactory(seed=1234)
+
+
+@pytest.fixture
+def rng(rngs) -> np.random.Generator:
+    """One plain generator."""
+    return rngs.stream("test")
+
+
+@pytest.fixture
+def small_geometry() -> CacheGeometry:
+    """A 64KB, 16-way cache: 1024 lines, 64 sets — fast to simulate."""
+    return CacheGeometry(size_bytes=64 * 1024, line_bytes=64, associativity=16)
+
+
+@pytest.fixture
+def small_fault_map(small_geometry, rngs) -> FaultMap:
+    """Fault map over the small geometry at the default calibration."""
+    return FaultMap(
+        n_lines=small_geometry.n_lines,
+        rng=rngs.stream("fault-map"),
+    )
+
+
+@pytest.fixture
+def dense_fault_map(small_geometry, rngs) -> FaultMap:
+    """A fault map with artificially high fault rates (for exercising
+    error paths without huge caches)."""
+    anchors = ((0.5, 0.3), (0.625, 2e-2), (0.7, 1e-4), (1.0, 1e-9))
+    model = CellFaultModel(anchors=anchors)
+    return FaultMap(
+        n_lines=small_geometry.n_lines,
+        cell_model=model,
+        rng=rngs.stream("dense-fault-map"),
+    )

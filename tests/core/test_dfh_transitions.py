@@ -1,0 +1,177 @@
+"""Exhaustive tests of the DFH state machine against paper Table 2."""
+
+import pytest
+
+from repro.core.dfh import (
+    Classification,
+    Dfh,
+    DfhAction,
+    classify,
+    classify_b00,
+    classify_b01,
+    classify_b10,
+)
+
+
+class TestB00:
+    """DFH b'00: only 4-bit segmented parity is checked."""
+
+    def test_clean(self):
+        cls = classify_b00(0)
+        assert cls == Classification(Dfh.STABLE_0, DfhAction.SEND_CLEAN)
+
+    def test_single_mismatch_retrains(self):
+        # Paper row: "1-bit error discovered after training; initial
+        # classification incorrect" -> b'01, error-induced miss.
+        cls = classify_b00(1)
+        assert cls.next_dfh is Dfh.INITIAL
+        assert cls.action is DfhAction.ERROR_MISS
+
+    @pytest.mark.parametrize("mismatches", [2, 3, 4])
+    def test_multi_mismatch_disables(self, mismatches):
+        cls = classify_b00(mismatches)
+        assert cls.next_dfh is Dfh.DISABLED
+        assert cls.action is DfhAction.ERROR_MISS
+
+
+class TestB01PaperRows:
+    """The five b'01 rows printed in Table 2."""
+
+    def test_all_clean_to_b00(self):
+        cls = classify_b01(0, True, True)
+        assert cls.next_dfh is Dfh.STABLE_0
+        assert cls.action is DfhAction.SEND_CLEAN
+        assert cls.free_ecc_entry  # "Invalidate entry in ECC cache"
+
+    def test_single_lv_error_to_b10(self):
+        cls = classify_b01(1, False, False)
+        assert cls.next_dfh is Dfh.STABLE_1
+        assert cls.action is DfhAction.CORRECT_AND_SEND
+        assert not cls.free_ecc_entry  # checkbits still needed
+
+    def test_multibit_syndrome_parityok(self):
+        # Row: sp ok or 2+, syndrome non-zero, parity ok -> disable.
+        for sp in (0, 2, 5):
+            cls = classify_b01(sp, False, True)
+            assert cls.next_dfh is Dfh.DISABLED
+            assert cls.action is DfhAction.ERROR_MISS
+
+    def test_even_multibit(self):
+        # Row: sp 2+, any syndrome, parity ok -> disable.
+        cls = classify_b01(2, True, True)
+        assert cls.next_dfh is Dfh.DISABLED
+
+    def test_odd_multibit(self):
+        # Row: sp 2+, any syndrome, parity mismatch -> disable.
+        for syndrome_zero in (True, False):
+            cls = classify_b01(3, syndrome_zero, False)
+            assert cls.next_dfh is Dfh.DISABLED
+
+
+class TestB01OmittedCombinations:
+    """Combinations Table 2 leaves out, resolved per the docstring."""
+
+    def test_global_parity_bit_only(self):
+        cls = classify_b01(0, True, False)
+        assert cls.next_dfh is Dfh.STABLE_1
+        assert cls.action is DfhAction.CORRECT_AND_SEND
+
+    def test_checkbit_single_error(self):
+        cls = classify_b01(0, False, False)
+        assert cls.next_dfh is Dfh.STABLE_1
+
+    def test_stuck_parity_bit(self):
+        cls = classify_b01(1, True, True)
+        assert cls.next_dfh is Dfh.STABLE_1
+        assert cls.action is DfhAction.SEND_CLEAN
+
+    def test_inconsistent_signals_disable(self):
+        assert classify_b01(1, True, False).next_dfh is Dfh.DISABLED
+        assert classify_b01(1, False, True).next_dfh is Dfh.DISABLED
+
+
+class TestB10PaperRows:
+    def test_all_clean_back_to_b00(self):
+        # Row: "Non-LV transient error that was subsequently overwritten".
+        cls = classify_b10(0, True, True)
+        assert cls.next_dfh is Dfh.STABLE_0
+        assert cls.free_ecc_entry
+
+    def test_parity_error_with_clean_ecc_disables(self):
+        # Row: sp x or xx, syndrome ok, parity ok -> disable
+        # ("likely non-LV error + LV error").
+        for sp in (1, 2):
+            cls = classify_b10(sp, True, True)
+            assert cls.next_dfh is Dfh.DISABLED
+            assert cls.action is DfhAction.ERROR_MISS
+
+    @pytest.mark.parametrize("sp", [0, 1, 2])
+    def test_single_error_corrected_dont_care_parity(self, sp):
+        # Row: "Don't Care" parity, syndrome x, global parity x -> correct.
+        cls = classify_b10(sp, False, False)
+        assert cls.next_dfh is Dfh.STABLE_1
+        assert cls.action is DfhAction.CORRECT_AND_SEND
+
+    def test_multi_mismatch_syndrome_nonzero_parity_ok(self):
+        cls = classify_b10(2, False, True)
+        assert cls.next_dfh is Dfh.DISABLED
+
+    def test_multi_mismatch_syndrome_zero_parity_bad(self):
+        cls = classify_b10(2, True, False)
+        assert cls.next_dfh is Dfh.DISABLED
+
+
+class TestB10OmittedCombinations:
+    def test_global_parity_bit_only_corrected(self):
+        cls = classify_b10(0, True, False)
+        assert cls.next_dfh is Dfh.STABLE_1
+        assert cls.action is DfhAction.CORRECT_AND_SEND
+
+    def test_even_codeword_errors_disable(self):
+        assert classify_b10(0, False, True).next_dfh is Dfh.DISABLED
+
+    def test_inconsistent_disable(self):
+        assert classify_b10(1, True, False).next_dfh is Dfh.DISABLED
+
+
+class TestDispatchAndTotality:
+    def test_disabled_lines_never_classified(self):
+        # Table 2 last row: disabled lines are never accessed.
+        with pytest.raises(ValueError):
+            classify(Dfh.DISABLED, 0, True, True)
+
+    def test_dispatch_matches_per_state(self):
+        assert classify(Dfh.STABLE_0, 1, True, True) == classify_b00(1)
+        assert classify(Dfh.INITIAL, 1, False, False) == classify_b01(1, False, False)
+        assert classify(Dfh.STABLE_1, 0, True, True) == classify_b10(0, True, True)
+
+    @pytest.mark.parametrize("dfh", [Dfh.STABLE_0, Dfh.INITIAL, Dfh.STABLE_1])
+    @pytest.mark.parametrize("sp", [0, 1, 2, 3])
+    @pytest.mark.parametrize("syndrome_zero", [True, False])
+    @pytest.mark.parametrize("parity_ok", [True, False])
+    def test_total_function(self, dfh, sp, syndrome_zero, parity_ok):
+        # Every signal combination yields a valid classification.
+        cls = classify(dfh, sp, syndrome_zero, parity_ok)
+        assert isinstance(cls.next_dfh, Dfh)
+        assert isinstance(cls.action, DfhAction)
+        assert cls.next_dfh is not Dfh.INITIAL or cls.action is DfhAction.ERROR_MISS
+
+    @pytest.mark.parametrize("sp", [0, 1, 2])
+    @pytest.mark.parametrize("syndrome_zero", [True, False])
+    @pytest.mark.parametrize("parity_ok", [True, False])
+    def test_error_miss_iff_disable_or_retrain(self, sp, syndrome_zero, parity_ok):
+        # An error-induced miss always changes state to b'01 or b'11;
+        # conversely a served access never lands in those... except
+        # staying out of b'01 (b'01 only entered via ERROR_MISS).
+        for dfh in (Dfh.STABLE_0, Dfh.INITIAL, Dfh.STABLE_1):
+            cls = classify(dfh, sp, syndrome_zero, parity_ok)
+            if cls.action is DfhAction.ERROR_MISS:
+                assert cls.next_dfh in (Dfh.INITIAL, Dfh.DISABLED)
+            else:
+                assert cls.next_dfh in (Dfh.STABLE_0, Dfh.STABLE_1)
+
+    def test_values_match_paper_encoding(self):
+        assert Dfh.STABLE_0 == 0b00
+        assert Dfh.INITIAL == 0b01
+        assert Dfh.STABLE_1 == 0b10
+        assert Dfh.DISABLED == 0b11

@@ -1,0 +1,150 @@
+"""Golden end-to-end Table 2 tests through the bit-accurate data path.
+
+Independent of the sparse error-vector model: each test constructs a
+physical stuck-at pattern and data value, stores it through the real
+encoders (`BitAccurateDataPath`), derives the controller signals with
+the real decoders, classifies with the Table 2 logic, and checks the
+outcome the paper's row prescribes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.datapath import BitAccurateDataPath
+from repro.core.dfh import Dfh, DfhAction, classify
+from repro.faults.fault_map import FaultMap
+from repro.utils.bitvec import random_bits
+
+
+def datapath_for(faults: dict) -> BitAccurateDataPath:
+    return BitAccurateDataPath(FaultMap.from_faults(8, faults), voltage=0.625)
+
+
+def data_with(rng, forced: dict) -> np.ndarray:
+    data = random_bits(rng, 512)
+    for position, value in forced.items():
+        data[position] = value
+    return data
+
+
+def classify_training(datapath: BitAccurateDataPath, line: int):
+    signals = datapath.read_signals(line, 16, use_ecc=True)
+    return classify(
+        Dfh.INITIAL, signals.sp_mismatches, signals.syndrome_zero,
+        signals.global_parity_ok,
+    ), signals
+
+
+class TestB01GoldenRows:
+    def test_row_clean(self, rng):
+        # "No Error. Most frequent scenario."
+        datapath = datapath_for({})
+        datapath.write(0, random_bits(rng, 512))
+        cls, _ = classify_training(datapath, 0)
+        assert cls.next_dfh is Dfh.STABLE_0
+        assert cls.free_ecc_entry
+
+    def test_row_single_lv_error(self, rng):
+        # "1-bit LV error" -> correct using checkbits, b'10.
+        datapath = datapath_for({0: [(100, 1)]})
+        data = data_with(rng, {100: 0})  # unmasked
+        datapath.write(0, data)
+        cls, signals = classify_training(datapath, 0)
+        assert signals.sp_mismatches == 1
+        assert not signals.syndrome_zero and not signals.global_parity_ok
+        assert cls.next_dfh is Dfh.STABLE_1
+        assert cls.action is DfhAction.CORRECT_AND_SEND
+        assert (datapath.read_corrected(0) == data).all()
+
+    def test_row_multibit_across_segments(self, rng):
+        # "Multi-bit error" -> disable.
+        datapath = datapath_for({0: [(0, 1), (1, 1)]})
+        datapath.write(0, data_with(rng, {0: 0, 1: 0}))
+        cls, signals = classify_training(datapath, 0)
+        assert signals.sp_mismatches == 2
+        assert cls.next_dfh is Dfh.DISABLED
+        assert cls.action is DfhAction.ERROR_MISS
+
+    def test_row_even_errors_same_segment(self, rng):
+        # "Even number of errors": parity blind (segment 0 twice),
+        # SECDED syndrome non-zero with even parity -> disable.
+        datapath = datapath_for({0: [(0, 1), (16, 1)]})
+        datapath.write(0, data_with(rng, {0: 0, 16: 0}))
+        cls, signals = classify_training(datapath, 0)
+        assert signals.sp_mismatches == 0
+        assert not signals.syndrome_zero and signals.global_parity_ok
+        assert cls.next_dfh is Dfh.DISABLED
+
+    def test_row_odd_multibit(self, rng):
+        # Three errors spread over >= 2 segments -> double-cross parity.
+        datapath = datapath_for({0: [(0, 1), (1, 1), (2, 1)]})
+        datapath.write(0, data_with(rng, {0: 0, 1: 0, 2: 0}))
+        cls, signals = classify_training(datapath, 0)
+        assert signals.sp_mismatches == 3
+        assert cls.next_dfh is Dfh.DISABLED
+
+    def test_masked_fault_classifies_clean(self, rng):
+        # §4.3: a masked fault is invisible at classification time.
+        datapath = datapath_for({0: [(200, 1)]})
+        datapath.write(0, data_with(rng, {200: 1}))  # masked
+        cls, _ = classify_training(datapath, 0)
+        assert cls.next_dfh is Dfh.STABLE_0
+
+
+class TestB00GoldenRows:
+    def test_unmask_after_training(self, rng):
+        # Table 2 rows 2-3: errors discovered on a b'00 line.
+        datapath = datapath_for({0: [(200, 1)]})
+        data = data_with(rng, {200: 0})
+        datapath.write_stable(0, data, with_ecc=False)
+        signals = datapath.read_signals(0, 4, use_ecc=False)
+        cls = classify(Dfh.STABLE_0, signals.sp_mismatches, True, True)
+        assert cls.next_dfh is Dfh.INITIAL
+        assert cls.action is DfhAction.ERROR_MISS
+
+    def test_multibit_on_b00_disables(self, rng):
+        datapath = datapath_for({0: [(0, 1), (1, 1)]})
+        datapath.write_stable(0, data_with(rng, {0: 0, 1: 0}), with_ecc=False)
+        signals = datapath.read_signals(0, 4, use_ecc=False)
+        cls = classify(Dfh.STABLE_0, signals.sp_mismatches, True, True)
+        assert cls.next_dfh is Dfh.DISABLED
+
+
+class TestB10GoldenRows:
+    def test_persistent_fault_keeps_correcting(self, rng):
+        datapath = datapath_for({0: [(100, 1)]})
+        data = data_with(rng, {100: 0})
+        datapath.write_stable(0, data, with_ecc=True)
+        signals = datapath.read_signals(0, 4, use_ecc=True)
+        cls = classify(
+            Dfh.STABLE_1, signals.sp_mismatches, signals.syndrome_zero,
+            signals.global_parity_ok,
+        )
+        assert cls.next_dfh is Dfh.STABLE_1
+        assert cls.action is DfhAction.CORRECT_AND_SEND
+        assert (datapath.read_corrected(0) == data).all()
+
+    def test_overwritten_transient_returns_to_b00(self, rng):
+        # Row: "Non-LV transient error that was subsequently
+        # overwritten" — all signals clean in b'10 -> b'00.
+        datapath = datapath_for({0: [(100, 1)]})
+        datapath.write_stable(0, data_with(rng, {100: 1}), with_ecc=True)
+        signals = datapath.read_signals(0, 4, use_ecc=True)
+        cls = classify(
+            Dfh.STABLE_1, signals.sp_mismatches, signals.syndrome_zero,
+            signals.global_parity_ok,
+        )
+        assert cls.next_dfh is Dfh.STABLE_0
+        assert cls.free_ecc_entry
+
+    def test_second_error_on_b10_disables(self, rng):
+        # Row: "Error on line with existing 1-bit LV error."
+        datapath = datapath_for({0: [(100, 1), (101, 1)]})
+        datapath.write_stable(0, data_with(rng, {100: 0, 101: 0}), with_ecc=True)
+        signals = datapath.read_signals(0, 4, use_ecc=True)
+        cls = classify(
+            Dfh.STABLE_1, signals.sp_mismatches, signals.syndrome_zero,
+            signals.global_parity_ok,
+        )
+        assert cls.next_dfh is Dfh.DISABLED
+        assert cls.action is DfhAction.ERROR_MISS

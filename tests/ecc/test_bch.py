@@ -1,0 +1,177 @@
+"""Tests for the shortened, extended BCH codes (DECTED/TECQED/6EC7ED)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.base import DecodeStatus
+from repro.ecc.bch import BchCode, bch_checkbits, make_6ec7ed, make_dected, make_tecqed
+from repro.utils.bitvec import random_bits
+
+
+@pytest.fixture(scope="module")
+def dected():
+    return make_dected(512)
+
+
+@pytest.fixture(scope="module")
+def tecqed():
+    return make_tecqed(512)
+
+
+@pytest.fixture(scope="module")
+def sixec():
+    return make_6ec7ed(512)
+
+
+class TestDimensions:
+    def test_paper_checkbit_counts(self):
+        # Paper Section 5.2: "DECTED ECC for 64B data requires only 21
+        # bits"; Table 4 uses TECQED and 6EC7ED.
+        assert bch_checkbits(512, 2) == 21
+        assert bch_checkbits(512, 3) == 31
+        assert bch_checkbits(512, 6) == 61
+
+    def test_unextended(self):
+        assert bch_checkbits(512, 2, extended=False) == 20
+
+    def test_invalid_t(self):
+        with pytest.raises(ValueError):
+            BchCode(k=512, t=0)
+
+    def test_field_too_small(self):
+        with pytest.raises(ValueError):
+            BchCode(k=512, t=2, m=5)
+
+    def test_systematic(self, dected, rng):
+        data = random_bits(rng, 512)
+        assert (dected.encode(data)[:512] == data).all()
+
+
+class TestCleanAndZero:
+    @pytest.mark.parametrize("maker", [make_dected, make_tecqed, make_6ec7ed])
+    def test_zero_codeword(self, maker):
+        code = maker(512)
+        word = code.encode(np.zeros(512, dtype=np.uint8))
+        assert not word.any()
+        assert code.decode(word).status is DecodeStatus.CLEAN
+
+    @pytest.mark.parametrize("maker", [make_dected, make_tecqed, make_6ec7ed])
+    def test_clean_round_trip(self, maker, rng):
+        code = maker(512)
+        data = random_bits(rng, 512)
+        result = code.decode(code.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert (result.data == data).all()
+
+    def test_codewords_closed_under_xor(self, dected, rng):
+        # Linearity of the cyclic part + parity bit.
+        a = random_bits(rng, 512)
+        b = random_bits(rng, 512)
+        word = dected.encode(a) ^ dected.encode(b)
+        assert dected.decode(word).status is DecodeStatus.CLEAN
+
+
+class TestCorrection:
+    @pytest.mark.parametrize(
+        "maker,t", [(make_dected, 2), (make_tecqed, 3), (make_6ec7ed, 6)]
+    )
+    def test_corrects_up_to_t(self, maker, t, rng):
+        code = maker(512)
+        data = random_bits(rng, 512)
+        word = code.encode(data)
+        for n_errors in range(1, t + 1):
+            for _ in range(5):
+                positions = rng.choice(code.n, size=n_errors, replace=False)
+                corrupted = word.copy()
+                corrupted[positions] ^= 1
+                result = code.decode(corrupted)
+                assert result.status is DecodeStatus.CORRECTED
+                assert (result.data == data).all()
+                assert sorted(result.corrected_positions) == sorted(positions)
+
+    @pytest.mark.parametrize(
+        "maker,t", [(make_dected, 2), (make_tecqed, 3), (make_6ec7ed, 6)]
+    )
+    def test_detects_t_plus_one(self, maker, t, rng):
+        code = maker(512)
+        data = random_bits(rng, 512)
+        word = code.encode(data)
+        for _ in range(20):
+            positions = rng.choice(code.n, size=t + 1, replace=False)
+            corrupted = word.copy()
+            corrupted[positions] ^= 1
+            assert code.decode(corrupted).status is DecodeStatus.DETECTED
+
+    def test_extended_parity_bit_alone(self, dected, rng):
+        data = random_bits(rng, 512)
+        word = dected.encode(data)
+        word[dected.n - 1] ^= 1
+        result = dected.decode(word)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.corrected_positions == (dected.n - 1,)
+
+    def test_error_in_bch_parity_region(self, dected, rng):
+        data = random_bits(rng, 512)
+        word = dected.encode(data)
+        word[[512, 520]] ^= 1  # both in the BCH parity bits
+        result = dected.decode(word)
+        assert result.status is DecodeStatus.CORRECTED
+        assert (result.data == data).all()
+
+    def test_mixed_parity_and_data(self, dected, rng):
+        data = random_bits(rng, 512)
+        word = dected.encode(data)
+        word[[100, dected.n - 1]] ^= 1  # 1 cyclic + extended parity
+        result = dected.decode(word)
+        assert result.status is DecodeStatus.CORRECTED
+        assert (result.data == data).all()
+
+    def test_t_cyclic_plus_parity_bit_detected(self, dected, rng):
+        # t cyclic errors + the extended bit = t+1 total: only
+        # detection is guaranteed, and miscorrection is forbidden.
+        data = random_bits(rng, 512)
+        word = dected.encode(data)
+        for _ in range(10):
+            positions = list(rng.choice(dected.n - 1, size=2, replace=False))
+            corrupted = word.copy()
+            corrupted[positions] ^= 1
+            corrupted[dected.n - 1] ^= 1
+            result = dected.decode(corrupted)
+            if result.status is DecodeStatus.CORRECTED:
+                assert (result.data == data).all()
+            else:
+                assert result.status is DecodeStatus.DETECTED
+
+
+class TestSmallBch:
+    def test_exhaustive_single_and_double_small(self, rng):
+        code = BchCode(k=32, t=2, extended=True)
+        data = random_bits(rng, 32)
+        word = code.encode(data)
+        for i in range(code.n):
+            corrupted = word.copy()
+            corrupted[i] ^= 1
+            result = code.decode(corrupted)
+            assert result.status is DecodeStatus.CORRECTED, i
+            assert (result.data == data).all(), i
+        for i in range(0, code.n, 3):
+            for j in range(i + 1, code.n, 7):
+                corrupted = word.copy()
+                corrupted[[i, j]] ^= 1
+                result = code.decode(corrupted)
+                assert result.status is DecodeStatus.CORRECTED, (i, j)
+                assert (result.data == data).all(), (i, j)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_random_triple_never_miscorrects(self, seed):
+        rng = np.random.default_rng(seed)
+        code = BchCode(k=64, t=2, extended=True)
+        data = random_bits(rng, 64)
+        word = code.encode(data)
+        positions = rng.choice(code.n, size=3, replace=False)
+        word[positions] ^= 1
+        result = code.decode(word)
+        assert result.status is DecodeStatus.DETECTED

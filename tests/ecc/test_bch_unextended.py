@@ -1,0 +1,86 @@
+"""Tests for the unextended BCH path and internal mappings."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.base import DecodeStatus
+from repro.ecc.bch import BchCode
+from repro.utils.bitvec import random_bits
+
+
+@pytest.fixture(scope="module")
+def plain():
+    return BchCode(k=64, t=2, extended=False)
+
+
+class TestUnextended:
+    def test_dimensions(self, plain):
+        assert plain.checkbits == 2 * plain.field.m  # no parity bit
+        assert plain.n == plain.k + plain.parity_bits
+
+    def test_clean(self, plain, rng):
+        data = random_bits(rng, 64)
+        result = plain.decode(plain.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert result.global_parity_ok  # mirrors syndrome for plain BCH
+
+    def test_corrects_up_to_t(self, plain, rng):
+        data = random_bits(rng, 64)
+        word = plain.encode(data)
+        for n_errors in (1, 2):
+            for _ in range(10):
+                positions = rng.choice(plain.n, size=n_errors, replace=False)
+                corrupted = word.copy()
+                corrupted[positions] ^= 1
+                result = plain.decode(corrupted)
+                assert result.status is DecodeStatus.CORRECTED
+                assert (result.data == data).all()
+
+    def test_triples_never_silently_clean(self, plain, rng):
+        # Without the extended parity, some triples may miscorrect
+        # (d=5), but none may decode as CLEAN.
+        data = random_bits(rng, 64)
+        word = plain.encode(data)
+        for _ in range(50):
+            positions = rng.choice(plain.n, size=3, replace=False)
+            corrupted = word.copy()
+            corrupted[positions] ^= 1
+            assert plain.decode(corrupted).status is not DecodeStatus.CLEAN
+
+
+class TestDegreeMapping:
+    def test_round_trip(self, plain):
+        for position in range(plain.n):
+            degree = plain._degree_of_position(position)
+            assert plain._position_of_degree(degree) == position
+
+    def test_data_occupies_high_degrees(self, plain):
+        # Systematic encoding: data bit i is the coefficient of
+        # x^(parity_bits + i).
+        assert plain._degree_of_position(0) == plain.parity_bits
+        assert plain._degree_of_position(plain.k - 1) == plain.parity_bits + plain.k - 1
+
+    def test_parity_occupies_low_degrees(self, plain):
+        assert plain._degree_of_position(plain.k) == 0
+
+
+class TestMultiKernelStats:
+    def test_stats_accumulate_across_kernels(self):
+        from repro.cache.protection import UnprotectedScheme
+        from repro.gpu import GpuConfig, GpuSimulator
+        from repro.traces import workload_trace
+        from repro.utils.rng import RngFactory
+
+        rngs = RngFactory(2)
+        simulator = GpuSimulator(GpuConfig(), UnprotectedScheme())
+        traces = [
+            workload_trace("nekbone", 400, rng=rngs.stream(f"k{i}"))
+            for i in range(2)
+        ]
+        first = simulator.run(traces[0])
+        reads_after_first = first.l2_stats.reads
+        second = simulator.run(traces[1])
+        assert second.l2_stats.reads > reads_after_first
+        # Shared stats object by design: per-kernel deltas are the
+        # caller's responsibility (documented in run_kernels).
+        assert second.l2_stats is first.l2_stats

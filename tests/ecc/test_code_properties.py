@@ -1,0 +1,119 @@
+"""Cross-code property tests: invariants every code must satisfy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.base import DecodeStatus
+from repro.ecc.bch import BchCode
+from repro.ecc.olsc import OlscCode
+from repro.ecc.registry import (
+    CODE_REGISTRY,
+    checkbits_for,
+    correction_capability,
+    make_code,
+)
+from repro.ecc.secded import SecDedCode
+from repro.utils.bitvec import random_bits
+
+SMALL_CODES = {
+    "secded": lambda: SecDedCode(64),
+    "dected": lambda: BchCode(k=64, t=2, extended=True),
+    "olsc-t2": lambda: OlscCode(64, t=2, m=11),
+}
+
+
+@pytest.fixture(params=sorted(SMALL_CODES))
+def code(request):
+    return SMALL_CODES[request.param]()
+
+
+class TestUniversalProperties:
+    def test_systematic(self, code, rng):
+        data = random_bits(rng, code.k)
+        assert (code.encode(data)[: code.k] == data).all()
+
+    def test_zero_maps_to_zero(self, code):
+        assert not code.encode(np.zeros(code.k, dtype=np.uint8)).any()
+
+    def test_linearity(self, code, rng):
+        a = random_bits(rng, code.k)
+        b = random_bits(rng, code.k)
+        assert (code.encode(a ^ b) == (code.encode(a) ^ code.encode(b))).all()
+
+    def test_clean_decode_is_identity(self, code, rng):
+        data = random_bits(rng, code.k)
+        result = code.decode(code.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert (result.data == data).all()
+
+    def test_checkbits_attribute(self, code):
+        assert code.checkbits == code.n - code.k
+
+    def test_single_error_always_corrected(self, code, rng):
+        data = random_bits(rng, code.k)
+        word = code.encode(data)
+        for _ in range(20):
+            position = int(rng.integers(0, code.n))
+            corrupted = word.copy()
+            corrupted[position] ^= 1
+            result = code.decode(corrupted)
+            assert (result.data == data).all(), position
+
+
+class TestMinimumDistanceSampling:
+    """Sampled lower-bound check: no two random codewords are closer
+    than the design distance implies."""
+
+    @pytest.mark.parametrize("name,min_distance", [
+        ("secded", 4),
+        ("dected", 6),
+    ])
+    def test_sampled_distance(self, name, min_distance, rng):
+        code = SMALL_CODES[name]()
+        words = [code.encode(random_bits(rng, code.k)) for _ in range(60)]
+        for i in range(len(words)):
+            for j in range(i + 1, len(words)):
+                weight = int(np.count_nonzero(words[i] ^ words[j]))
+                if weight:
+                    assert weight >= min_distance
+
+
+class TestRegistryConsistency:
+    @pytest.mark.parametrize("name", sorted(CODE_REGISTRY))
+    def test_checkbits_match_construction(self, name):
+        code = make_code(name, 512)
+        assert code.checkbits == checkbits_for(name, 512)
+
+    @pytest.mark.parametrize("name", ["secded", "dected", "tecqed"])
+    def test_capability_honoured(self, name, rng):
+        # Each registry code must actually correct its advertised t.
+        t = correction_capability(name)
+        code = make_code(name, 512)
+        data = random_bits(rng, 512)
+        word = code.encode(data)
+        positions = rng.choice(code.n, size=t, replace=False)
+        word[positions] ^= 1
+        result = code.decode(word)
+        assert (result.data == data).all()
+
+    def test_registry_complete(self):
+        assert {"secded", "dected", "tecqed", "6ec7ed", "olsc-t11"} <= set(
+            CODE_REGISTRY
+        )
+
+
+class TestSyndromeLinearity:
+    @given(st.lists(st.integers(min_value=0, max_value=522), min_size=0,
+                    max_size=6, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_sparse_syndrome_matches_dense(self, positions):
+        # The production fast path (syndrome of an error vector) must
+        # equal the dense decode's view for any flip set.
+        code = SecDedCode(512)
+        word = np.zeros(code.n, dtype=np.uint8)
+        word[positions] = 1
+        dense = code._syndrome(word)
+        sparse = code.syndrome_of_error_positions(positions)
+        assert dense == sparse

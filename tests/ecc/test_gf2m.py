@@ -1,0 +1,152 @@
+"""Tests for GF(2^m) arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.gf2m import DEFAULT_PRIMITIVE_POLYS, GF2m
+
+
+@pytest.fixture(scope="module")
+def gf8():
+    return GF2m(3)
+
+
+@pytest.fixture(scope="module")
+def gf1024():
+    return GF2m(10)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("m", sorted(DEFAULT_PRIMITIVE_POLYS))
+    def test_default_polys_are_primitive(self, m):
+        gf = GF2m(m)
+        assert gf.size == 1 << m
+
+    def test_unknown_degree_needs_poly(self):
+        with pytest.raises(ValueError):
+            GF2m(20)
+
+    def test_non_primitive_poly_rejected(self):
+        # x^3 + x^2 + x + 1 = (x+1)(x^2+1) is reducible.
+        with pytest.raises(ValueError):
+            GF2m(3, primitive_poly=0b1111)
+
+
+class TestFieldAxioms:
+    def test_mul_by_zero(self, gf8):
+        assert gf8.mul(0, 5) == 0
+        assert gf8.mul(5, 0) == 0
+
+    def test_mul_identity(self, gf8):
+        for a in range(1, 8):
+            assert gf8.mul(a, 1) == a
+
+    def test_exhaustive_associativity_gf8(self, gf8):
+        for a in range(8):
+            for b in range(8):
+                for c in range(8):
+                    assert gf8.mul(gf8.mul(a, b), c) == gf8.mul(a, gf8.mul(b, c))
+
+    def test_exhaustive_commutativity_gf8(self, gf8):
+        for a in range(8):
+            for b in range(8):
+                assert gf8.mul(a, b) == gf8.mul(b, a)
+
+    def test_exhaustive_distributivity_gf8(self, gf8):
+        for a in range(8):
+            for b in range(8):
+                for c in range(8):
+                    assert gf8.mul(a, b ^ c) == gf8.mul(a, b) ^ gf8.mul(a, c)
+
+    def test_inverse(self, gf1024):
+        for a in [1, 2, 3, 100, 1023]:
+            assert gf1024.mul(a, gf1024.inv(a)) == 1
+
+    def test_inverse_of_zero_raises(self, gf1024):
+        with pytest.raises(ZeroDivisionError):
+            gf1024.inv(0)
+
+    def test_div(self, gf1024):
+        assert gf1024.div(gf1024.mul(7, 9), 9) == 7
+
+    def test_div_by_zero(self, gf1024):
+        with pytest.raises(ZeroDivisionError):
+            gf1024.div(1, 0)
+
+    @given(st.integers(min_value=1, max_value=1023), st.integers(min_value=1, max_value=1023))
+    @settings(max_examples=100)
+    def test_div_inverts_mul(self, a, b):
+        gf = GF2m(10)
+        assert gf.div(gf.mul(a, b), b) == a
+
+
+class TestPowersAndLogs:
+    def test_alpha_pow_cycle(self, gf1024):
+        assert gf1024.alpha_pow(0) == 1
+        assert gf1024.alpha_pow(gf1024.order) == 1
+        assert gf1024.alpha_pow(-1) == gf1024.inv(gf1024.alpha_pow(1))
+
+    def test_log_roundtrip(self, gf1024):
+        for i in [0, 1, 17, 1000]:
+            assert gf1024.log(gf1024.alpha_pow(i)) == i % gf1024.order
+
+    def test_log_zero_raises(self, gf1024):
+        with pytest.raises(ZeroDivisionError):
+            gf1024.log(0)
+
+    def test_pow(self, gf1024):
+        a = gf1024.alpha_pow(5)
+        assert gf1024.pow(a, 3) == gf1024.mul(gf1024.mul(a, a), a)
+
+    def test_pow_zero_base(self, gf1024):
+        assert gf1024.pow(0, 5) == 0
+        assert gf1024.pow(0, 0) == 1
+        with pytest.raises(ZeroDivisionError):
+            gf1024.pow(0, -1)
+
+    def test_all_nonzero_elements_generated(self, gf8):
+        generated = {gf8.alpha_pow(i) for i in range(gf8.order)}
+        assert generated == set(range(1, 8))
+
+
+class TestPolyEval:
+    def test_constant(self, gf8):
+        assert gf8.poly_eval([5], 3) == 5
+
+    def test_linear(self, gf8):
+        # p(x) = x + 1 at alpha: alpha ^ 1 ... in GF: alpha XOR 1
+        alpha = gf8.alpha_pow(1)
+        assert gf8.poly_eval([1, 1], alpha) == (alpha ^ 1)
+
+    def test_root(self, gf1024):
+        # (x - a) has root a.
+        a = gf1024.alpha_pow(13)
+        assert gf1024.poly_eval([a, 1], a) == 0
+
+
+class TestMinimalPolynomials:
+    def test_coset_closure(self, gf1024):
+        coset = gf1024.cyclotomic_coset(1)
+        assert all((2 * s) % gf1024.order in coset for s in coset)
+
+    def test_minimal_poly_of_alpha_is_primitive_poly(self, gf1024):
+        poly = gf1024.minimal_polynomial(1)
+        value = sum(c << i for i, c in enumerate(poly))
+        assert value == gf1024.primitive_poly
+
+    def test_minimal_poly_has_binary_coeffs(self, gf1024):
+        for s in [1, 3, 5, 11]:
+            assert set(gf1024.minimal_polynomial(s)) <= {0, 1}
+
+    def test_minimal_poly_annihilates_coset(self, gf1024):
+        for s in [1, 3, 5]:
+            poly = gf1024.minimal_polynomial(s)
+            for j in gf1024.cyclotomic_coset(s):
+                assert gf1024.poly_eval(poly, gf1024.alpha_pow(j)) == 0
+
+    def test_minimal_poly_degree_equals_coset_size(self, gf1024):
+        for s in [1, 3, 33]:
+            coset = gf1024.cyclotomic_coset(s)
+            poly = gf1024.minimal_polynomial(s)
+            assert len(poly) - 1 == len(coset)

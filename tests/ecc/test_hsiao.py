@@ -1,0 +1,130 @@
+"""Tests for the Hsiao (odd-weight-column) SECDED code."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.base import DecodeStatus
+from repro.ecc.hsiao import HsiaoCode, hsiao_checkbits
+from repro.ecc.secded import SecDedCode
+from repro.utils.bitvec import random_bits
+
+
+@pytest.fixture(scope="module")
+def code():
+    return HsiaoCode(512)
+
+
+class TestDimensions:
+    def test_checkbit_counts(self):
+        assert hsiao_checkbits(512) == 11  # same budget as ext-Hamming
+        assert hsiao_checkbits(64) == 8    # the classic Hsiao(72,64)
+        assert hsiao_checkbits(256) == 10
+
+    def test_matches_secded_budget(self):
+        # Killi's area accounting is implementation-agnostic.
+        assert HsiaoCode(512).checkbits == SecDedCode(512).checkbits
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            HsiaoCode(0)
+
+    def test_columns_distinct_and_odd(self, code):
+        values = [int(c) for c in code._codes]
+        assert len(set(values)) == len(values)
+        assert all(bin(v).count("1") % 2 == 1 for v in values)
+
+    def test_low_weight_columns_preferred(self, code):
+        # The first data columns should be weight 3 (fanout property).
+        first = [int(c) for c in code._codes[:100]]
+        assert all(bin(v).count("1") == 3 for v in first)
+
+
+class TestDecoding:
+    def test_clean(self, code, rng):
+        data = random_bits(rng, 512)
+        result = code.decode(code.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert (result.data == data).all()
+
+    def test_systematic(self, code, rng):
+        data = random_bits(rng, 512)
+        assert (code.encode(data)[:512] == data).all()
+
+    @pytest.mark.parametrize("position", [0, 256, 511, 512, 522])
+    def test_single_error_corrected(self, code, rng, position):
+        data = random_bits(rng, 512)
+        word = code.encode(data)
+        word[position] ^= 1
+        result = code.decode(word)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.corrected_positions == (position,)
+        assert (result.data == data).all()
+
+    def test_single_error_signals(self, code, rng):
+        data = random_bits(rng, 512)
+        word = code.encode(data)
+        word[7] ^= 1
+        result = code.decode(word)
+        assert not result.syndrome_zero
+        assert not result.global_parity_ok  # odd syndrome weight
+
+    def test_double_error_detected(self, code, rng):
+        data = random_bits(rng, 512)
+        word = code.encode(data)
+        for _ in range(30):
+            positions = rng.choice(code.n, size=2, replace=False)
+            corrupted = word.copy()
+            corrupted[positions] ^= 1
+            result = code.decode(corrupted)
+            assert result.status is DecodeStatus.DETECTED
+            assert result.global_parity_ok  # even syndrome weight
+
+    def test_never_miscorrects_doubles_exhaustive_small(self, rng):
+        code = HsiaoCode(32)
+        data = random_bits(rng, 32)
+        word = code.encode(data)
+        for i in range(code.n):
+            for j in range(i + 1, code.n):
+                corrupted = word.copy()
+                corrupted[[i, j]] ^= 1
+                assert code.decode(corrupted).status is DecodeStatus.DETECTED
+
+    def test_sparse_syndrome_matches(self, code):
+        positions = [5, 100, 515]
+        word = np.zeros(code.n, dtype=np.uint8)
+        word[positions] = 1
+        dense = 0
+        for c in code._codes[np.nonzero(word)[0]]:
+            dense ^= int(c)
+        assert code.syndrome_of_error_positions(positions) == dense
+
+    def test_syndrome_position_bounds(self, code):
+        with pytest.raises(IndexError):
+            code.syndrome_of_error_positions([code.n])
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_triple_never_silently_clean(self, seed):
+        # 3 errors: either detected or (rarely) miscorrected — but the
+        # syndrome can never be zero (odd number of odd-weight columns
+        # XOR to odd weight != 0).
+        rng = np.random.default_rng(seed)
+        code = HsiaoCode(64)
+        data = random_bits(rng, 64)
+        word = code.encode(data)
+        positions = rng.choice(code.n, size=3, replace=False)
+        word[positions] ^= 1
+        result = code.decode(word)
+        assert result.status is not DecodeStatus.CLEAN
+
+
+class TestRegistry:
+    def test_registered(self, rng):
+        from repro.ecc.registry import checkbits_for, make_code
+
+        assert checkbits_for("hsiao") == 11
+        code = make_code("hsiao", 64)
+        data = random_bits(rng, 64)
+        assert (code.decode(code.encode(data)).data == data).all()

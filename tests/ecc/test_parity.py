@@ -1,0 +1,151 @@
+"""Tests for Killi's segmented, interleaved parity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.parity import SegmentedParity
+from repro.utils.bitvec import random_bits
+
+
+@pytest.fixture
+def parity16():
+    return SegmentedParity(512, 16)
+
+
+@pytest.fixture
+def parity4():
+    return SegmentedParity(512, 4)
+
+
+class TestConstruction:
+    def test_invalid_division(self):
+        with pytest.raises(ValueError):
+            SegmentedParity(100, 16)
+
+    def test_segment_width(self, parity16, parity4):
+        assert parity16.segment_width == 32
+        assert parity4.segment_width == 128
+
+    def test_interleaved_mapping(self, parity16):
+        # Adjacent bits land in different segments.
+        assert parity16.segment_of(0) == 0
+        assert parity16.segment_of(1) == 1
+        assert parity16.segment_of(16) == 0
+
+    def test_contiguous_mapping(self):
+        parity = SegmentedParity(512, 16, interleaved=False)
+        assert parity.segment_of(0) == 0
+        assert parity.segment_of(31) == 0
+        assert parity.segment_of(32) == 1
+
+    def test_segment_of_out_of_range(self, parity16):
+        with pytest.raises(IndexError):
+            parity16.segment_of(512)
+
+    def test_segment_members_partition(self, parity16):
+        all_members = np.concatenate(
+            [parity16.segment_members(s) for s in range(16)]
+        )
+        assert sorted(all_members) == list(range(512))
+
+    def test_segment_members_out_of_range(self, parity16):
+        with pytest.raises(IndexError):
+            parity16.segment_members(16)
+
+
+class TestGenerateCheck:
+    def test_zero_data_zero_parity(self, parity16):
+        assert not parity16.generate(np.zeros(512, dtype=np.uint8)).any()
+
+    def test_wrong_length_raises(self, parity16):
+        with pytest.raises(ValueError):
+            parity16.generate(np.zeros(100, dtype=np.uint8))
+
+    def test_wrong_parity_length_raises(self, parity16):
+        with pytest.raises(ValueError):
+            parity16.mismatches(np.zeros(512, dtype=np.uint8), np.zeros(4, dtype=np.uint8))
+
+    def test_clean_data_matches(self, parity16, rng):
+        data = random_bits(rng, 512)
+        assert parity16.mismatch_count(data, parity16.generate(data)) == 0
+
+    def test_single_flip_one_mismatch(self, parity16, rng):
+        data = random_bits(rng, 512)
+        stored = parity16.generate(data)
+        data[37] ^= 1
+        mism = parity16.mismatches(data, stored)
+        assert mism.sum() == 1
+        assert mism[37 % 16]
+
+    def test_parity_bit_flip_detected(self, parity16, rng):
+        data = random_bits(rng, 512)
+        stored = parity16.generate(data)
+        stored[5] ^= 1  # the stored parity bit itself fails
+        mism = parity16.mismatches(data, stored)
+        assert mism.sum() == 1 and mism[5]
+
+    def test_two_flips_same_segment_undetected(self, parity16, rng):
+        # The fundamental parity weakness Killi compensates with ECC.
+        data = random_bits(rng, 512)
+        stored = parity16.generate(data)
+        data[0] ^= 1
+        data[16] ^= 1  # same segment (0) under interleaving
+        assert parity16.mismatch_count(data, stored) == 0
+
+    def test_two_flips_different_segments_detected(self, parity16, rng):
+        data = random_bits(rng, 512)
+        stored = parity16.generate(data)
+        data[0] ^= 1
+        data[1] ^= 1
+        assert parity16.mismatch_count(data, stored) == 2
+
+    def test_adjacent_burst_detected_when_interleaved(self, parity16, rng):
+        # Multi-bit soft errors hit adjacent cells; interleaving puts
+        # each in its own segment (paper Section 4.1).
+        data = random_bits(rng, 512)
+        stored = parity16.generate(data)
+        for offset in range(4):
+            data[100 + offset] ^= 1
+        assert parity16.mismatch_count(data, stored) == 4
+
+    def test_adjacent_burst_masked_without_interleaving(self, rng):
+        parity = SegmentedParity(512, 16, interleaved=False)
+        data = random_bits(rng, 512)
+        stored = parity.generate(data)
+        data[100] ^= 1
+        data[101] ^= 1  # same contiguous segment: even count, masked
+        assert parity.mismatch_count(data, stored) == 0
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=50)
+    def test_mismatch_count_equals_odd_segments(self, seed):
+        rng = np.random.default_rng(seed)
+        parity = SegmentedParity(512, 16)
+        data = random_bits(rng, 512)
+        stored = parity.generate(data)
+        n_flips = int(rng.integers(0, 10))
+        positions = rng.choice(512, size=n_flips, replace=False)
+        corrupted = data.copy()
+        corrupted[positions] ^= 1
+        segments = positions % 16
+        expected = sum(
+            1 for s in range(16) if np.count_nonzero(segments == s) % 2
+        )
+        assert parity.mismatch_count(corrupted, stored) == expected
+
+    @given(st.integers(min_value=1, max_value=2**32 - 1))
+    @settings(max_examples=30)
+    def test_generate_linear_in_gf2(self, seed):
+        # parity(a ^ b) == parity(a) ^ parity(b) — the linearity the
+        # sparse simulator model relies on.
+        rng = np.random.default_rng(seed)
+        parity = SegmentedParity(512, 16)
+        a = random_bits(rng, 512)
+        b = random_bits(rng, 512)
+        lhs = parity.generate(a ^ b)
+        rhs = parity.generate(a) ^ parity.generate(b)
+        assert (lhs == rhs).all()

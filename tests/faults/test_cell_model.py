@@ -1,0 +1,91 @@
+"""Tests for the Pcell(V, f) model (Figure 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.cell_model import DEFAULT_ANCHORS, CellFaultModel, FaultMechanism
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CellFaultModel()
+
+
+class TestCalibration:
+    def test_anchor_values_reproduced(self, model):
+        for voltage, probability in DEFAULT_ANCHORS:
+            assert model.p_cell(voltage) == pytest.approx(probability, rel=1e-9)
+
+    def test_exponential_region_below_0675(self, model):
+        # The paper: below 0.675 VDD probabilities rise exponentially.
+        assert model.p_cell(0.600) / model.p_cell(0.625) > 10
+        assert model.p_cell(0.575) / model.p_cell(0.600) > 2
+
+    def test_negligible_at_nominal(self, model):
+        assert model.p_cell(1.0) < 1e-9
+
+
+class TestMonotonicity:
+    @given(st.floats(min_value=0.5, max_value=0.99))
+    @settings(max_examples=100)
+    def test_monotonic_in_voltage(self, voltage):
+        model = CellFaultModel()
+        assert model.p_cell(voltage) > model.p_cell(voltage + 0.01)
+
+    @given(st.floats(min_value=0.5, max_value=1.0), st.floats(min_value=0.4, max_value=0.99))
+    @settings(max_examples=100)
+    def test_monotonic_in_frequency(self, voltage, freq):
+        # Paper: failures occur "always for ... all frequencies higher".
+        model = CellFaultModel()
+        assert model.p_cell(voltage, freq) <= model.p_cell(voltage, 1.0)
+
+    def test_extrapolation_below_anchor_range(self, model):
+        assert model.p_cell(0.45) > model.p_cell(0.50)
+        assert model.p_cell(0.45) <= 0.5  # clamped to a probability
+
+    def test_extrapolation_above_anchor_range(self, model):
+        assert model.p_cell(1.1) < model.p_cell(1.0)
+
+
+class TestMechanisms:
+    def test_combined_is_union(self, model):
+        v = 0.6
+        pw = model.p_cell(v, mechanism=FaultMechanism.WRITEABILITY)
+        pr = model.p_cell(v, mechanism=FaultMechanism.READ_DISTURB)
+        pc = model.p_cell(v, mechanism=FaultMechanism.COMBINED)
+        assert pc == pytest.approx(1 - (1 - pw) * (1 - pr), rel=1e-9)
+
+    def test_read_disturb_below_writeability(self, model):
+        # Figure 1: the two curves are parallel with read-disturb lower.
+        for v in [0.55, 0.6, 0.625]:
+            pw = model.p_cell(v, mechanism=FaultMechanism.WRITEABILITY)
+            pr = model.p_cell(v, mechanism=FaultMechanism.READ_DISTURB)
+            assert pr < pw
+
+    def test_curve_shape(self, model):
+        voltages = [0.5, 0.55, 0.6, 0.65, 0.7]
+        curve = model.curve(voltages)
+        assert all(curve[i] > curve[i + 1] for i in range(len(curve) - 1))
+
+
+class TestValidation:
+    def test_bad_voltage(self, model):
+        with pytest.raises(ValueError):
+            model.p_cell(0)
+
+    def test_bad_frequency(self, model):
+        with pytest.raises(ValueError):
+            model.p_cell(0.6, freq_ghz=0)
+
+    def test_too_few_anchors(self):
+        with pytest.raises(ValueError):
+            CellFaultModel(anchors=((0.6, 1e-3),))
+
+    def test_non_monotonic_anchors_rejected(self):
+        with pytest.raises(ValueError):
+            CellFaultModel(anchors=((0.5, 1e-3), (0.6, 1e-2)))
+
+    def test_out_of_range_probability_rejected(self):
+        with pytest.raises(ValueError):
+            CellFaultModel(anchors=((0.5, 1.5), (0.6, 1e-2)))

@@ -1,0 +1,204 @@
+"""Tests for persistent stuck-at fault maps."""
+
+import numpy as np
+import pytest
+
+from repro.faults.cell_model import CellFaultModel
+from repro.faults.fault_map import FaultMap
+from repro.utils.rng import RngFactory
+
+
+@pytest.fixture
+def fmap(rngs):
+    return FaultMap(n_lines=512, rng=rngs.stream("map"))
+
+
+@pytest.fixture
+def dense_map(rngs):
+    anchors = ((0.5, 0.2), (0.625, 5e-2), (1.0, 1e-9))
+    return FaultMap(
+        n_lines=256,
+        cell_model=CellFaultModel(anchors=anchors),
+        rng=rngs.stream("dense"),
+    )
+
+
+class TestConstruction:
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            FaultMap(n_lines=0)
+        with pytest.raises(ValueError):
+            FaultMap(n_lines=10, line_bits=0)
+
+    def test_deterministic_given_stream(self):
+        a = FaultMap(n_lines=128, rng=RngFactory(5).stream("m"))
+        b = FaultMap(n_lines=128, rng=RngFactory(5).stream("m"))
+        for line in range(128):
+            pa, va = a.line_faults(line, 0.6)
+            pb, vb = b.line_faults(line, 0.6)
+            assert (pa == pb).all() and (va == vb).all()
+
+    def test_different_streams_differ(self):
+        a = FaultMap(n_lines=512, rng=RngFactory(5).stream("m1"))
+        b = FaultMap(n_lines=512, rng=RngFactory(5).stream("m2"))
+        differs = any(
+            list(a.line_faults(i, 0.58)[0]) != list(b.line_faults(i, 0.58)[0])
+            for i in range(512)
+        )
+        assert differs
+
+
+class TestQueries:
+    def test_line_out_of_range(self, fmap):
+        with pytest.raises(IndexError):
+            fmap.line_faults(512, 0.6)
+
+    def test_voltage_below_floor(self, fmap):
+        with pytest.raises(ValueError):
+            fmap.line_faults(0, 0.5)
+
+    def test_fault_count_window(self, dense_map):
+        for line in range(64):
+            total = dense_map.fault_count(line, 0.6)
+            data = dense_map.fault_count(line, 0.6, 0, 512)
+            meta = dense_map.fault_count(line, 0.6, 512, dense_map.line_bits)
+            assert total == data + meta
+
+    def test_has_faults_consistent(self, fmap):
+        for line in range(512):
+            has = fmap.has_faults(line)
+            positions, _ = fmap.line_faults(line, fmap.floor_voltage)
+            assert has == (len(positions) > 0)
+
+    def test_is_fault_free(self, dense_map):
+        for line in range(32):
+            positions, _ = dense_map.line_faults(line, 0.6)
+            assert dense_map.is_fault_free(line, 0.6) == (len(positions) == 0)
+
+
+class TestMonotonicity:
+    def test_fault_sets_shrink_with_voltage(self, dense_map):
+        # The silicon property the paper leans on: faults at a higher
+        # voltage are a subset of faults at any lower voltage.
+        for line in range(256):
+            low, _ = dense_map.line_faults(line, 0.58)
+            high, _ = dense_map.line_faults(line, 0.68)
+            assert set(map(int, high)) <= set(map(int, low))
+
+    def test_counts_monotonic(self, dense_map):
+        voltages = [0.58, 0.62, 0.66, 0.70]
+        for line in range(128):
+            counts = [dense_map.fault_count(line, v) for v in voltages]
+            assert all(counts[i] >= counts[i + 1] for i in range(3))
+
+
+class TestApply:
+    def test_fault_free_line_returns_same_object(self, rngs):
+        sparse = FaultMap(n_lines=512, floor_voltage=0.65, rng=rngs.stream("sparse"))
+        line = next(l for l in range(512) if not sparse.has_faults(l))
+        bits = np.zeros(512, dtype=np.uint8)
+        assert sparse.apply(line, 0.65, bits) is bits
+
+    def test_stuck_values_imposed(self, dense_map):
+        line = next(l for l in range(256) if dense_map.fault_count(l, 0.6) > 0)
+        positions, values = dense_map.line_faults(line, 0.6)
+        zeros = dense_map.apply(line, 0.6, np.zeros(dense_map.line_bits, dtype=np.uint8))
+        ones = dense_map.apply(line, 0.6, np.ones(dense_map.line_bits, dtype=np.uint8))
+        for pos, val in zip(positions, values):
+            assert zeros[pos] == val
+            assert ones[pos] == val
+
+    def test_apply_with_offset_window(self, dense_map):
+        line = next(
+            l for l in range(256)
+            if dense_map.fault_count(l, 0.6, 512, dense_map.line_bits) > 0
+        )
+        window = np.zeros(dense_map.line_bits - 512, dtype=np.uint8)
+        out = dense_map.apply(line, 0.6, window, offset=512)
+        positions, values = dense_map.line_faults(line, 0.6)
+        in_window = positions >= 512
+        for pos, val in zip(positions[in_window], values[in_window]):
+            assert out[pos - 512] == val
+
+    def test_masked_faults_invisible(self, dense_map):
+        # Writing the stuck value yields a read-back identical to the
+        # written data: the masked-fault phenomenon of Section 5.6.2.
+        line = next(l for l in range(256) if dense_map.fault_count(l, 0.6) > 0)
+        positions, values = dense_map.line_faults(line, 0.6)
+        data = np.zeros(dense_map.line_bits, dtype=np.uint8)
+        data[positions] = values  # write exactly the stuck values
+        out = dense_map.apply(line, 0.6, data)
+        assert (out == data).all()
+
+
+class TestHistogram:
+    def test_histogram_totals(self, fmap):
+        hist = fmap.fault_count_histogram(0.625)
+        assert sum(hist.values()) == fmap.n_lines
+
+    def test_histogram_shifts_with_voltage(self, dense_map):
+        low = dense_map.fault_count_histogram(0.58)
+        high = dense_map.fault_count_histogram(0.70)
+        assert high.get(0, 0) >= low.get(0, 0)
+
+    def test_histogram_matches_counts(self, dense_map):
+        hist = dense_map.fault_count_histogram(0.6)
+        recomputed: dict = {}
+        for line in range(dense_map.n_lines):
+            count = dense_map.fault_count(line, 0.6)
+            recomputed[count] = recomputed.get(count, 0) + 1
+        assert hist == recomputed
+
+
+class TestSoftErrors:
+    def test_rate_zero_never_fires(self, rng):
+        from repro.faults.soft_errors import SoftErrorInjector
+
+        injector = SoftErrorInjector(0.0, rng=rng)
+        assert all(injector.sample_event(512) is None for _ in range(100))
+
+    def test_rate_one_always_fires(self, rng):
+        from repro.faults.soft_errors import SoftErrorInjector
+
+        injector = SoftErrorInjector(1.0, rng=rng)
+        for _ in range(50):
+            positions = injector.sample_event(512)
+            assert positions is not None
+            assert len(positions) >= 1
+        assert injector.events_injected == 50
+
+    def test_burst_adjacency(self, rng):
+        from repro.faults.soft_errors import SoftErrorInjector
+
+        injector = SoftErrorInjector(1.0, burst_pmf={4: 1.0}, rng=rng)
+        for _ in range(20):
+            positions = injector.sample_event(512)
+            diffs = np.diff(positions)
+            assert (diffs == 1).all()
+            assert len(positions) <= 4  # clipped at the line end
+
+    def test_bad_pmf(self, rng):
+        from repro.faults.soft_errors import SoftErrorInjector
+
+        with pytest.raises(ValueError):
+            SoftErrorInjector(0.1, burst_pmf={1: 0.5}, rng=rng)
+        with pytest.raises(ValueError):
+            SoftErrorInjector(0.1, burst_pmf={0: 1.0}, rng=rng)
+        with pytest.raises(ValueError):
+            SoftErrorInjector(1.5, rng=rng)
+
+    def test_maybe_flip_mutates_in_place(self, rng):
+        from repro.faults.soft_errors import SoftErrorInjector
+
+        injector = SoftErrorInjector(1.0, burst_pmf={1: 1.0}, rng=rng)
+        bits = np.zeros(64, dtype=np.uint8)
+        injector.maybe_flip(bits)
+        assert bits.sum() == 1
+
+    def test_deterministic_inject(self):
+        from repro.faults.soft_errors import SoftErrorInjector
+
+        bits = np.zeros(16, dtype=np.uint8)
+        out = SoftErrorInjector.inject(bits, [2, 5])
+        assert out[2] == 1 and out[5] == 1
+        assert not bits.any()  # original untouched

@@ -1,0 +1,93 @@
+"""Tests for per-line fault statistics (Figure 2 / Table 7 anchors)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.cell_model import CellFaultModel
+from repro.faults.line_model import LineFaultModel, binom_cdf, binom_pmf
+
+
+@pytest.fixture(scope="module")
+def lines512():
+    return LineFaultModel(CellFaultModel(), line_bits=512)
+
+
+@pytest.fixture(scope="module")
+def lines523():
+    return LineFaultModel(CellFaultModel(), line_bits=523)
+
+
+class TestBinomial:
+    def test_pmf_sums_to_one(self):
+        total = sum(binom_pmf(20, k, 0.3) for k in range(21))
+        assert total == pytest.approx(1.0)
+
+    def test_pmf_edge_cases(self):
+        assert binom_pmf(10, 0, 0.0) == 1.0
+        assert binom_pmf(10, 10, 1.0) == 1.0
+        assert binom_pmf(10, 11, 0.5) == 0.0
+        assert binom_pmf(10, -1, 0.5) == 0.0
+
+    def test_pmf_tiny_p_stable(self):
+        # log-space evaluation must not underflow to garbage.
+        value = binom_pmf(523, 2, 1e-8)
+        expected = math.comb(523, 2) * 1e-16
+        assert value == pytest.approx(expected, rel=1e-3)
+
+    def test_cdf_complete(self):
+        assert binom_cdf(10, 10, 0.7) == pytest.approx(1.0)
+
+    @given(
+        st.integers(min_value=1, max_value=100),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50)
+    def test_cdf_monotone_in_k(self, n, p):
+        values = [binom_cdf(n, k, p) for k in range(n + 1)]
+        assert all(values[i] <= values[i + 1] + 1e-12 for i in range(n))
+
+
+class TestPaperAnchors:
+    def test_0625_majority_fault_free(self, lines512):
+        # Paper: ">95% of rows have fewer than two failures" at
+        # 0.625xVDD / 1GHz (we calibrate to ~99.9%, see faults docs).
+        fractions = lines512.fractions(0.625)
+        assert fractions["zero"] + fractions["one"] > 0.95
+        assert fractions["zero"] > 0.9
+
+    def test_table7_0600_capacity(self, lines523):
+        # Table 7: 99.8% of lines usable with 11-bit correction at 0.6.
+        assert lines523.p_at_most(0.600, 11) == pytest.approx(0.998, abs=2e-3)
+
+    def test_table7_0575_capacity(self, lines523):
+        # Table 7: 69.6% usable at 0.575.
+        assert lines523.p_at_most(0.575, 11) == pytest.approx(0.696, abs=1e-2)
+
+    def test_two_plus_grows_as_voltage_drops(self, lines512):
+        two_plus = [
+            lines512.fractions(v)["two_plus"] for v in (0.65, 0.625, 0.6, 0.575)
+        ]
+        assert all(two_plus[i] < two_plus[i + 1] for i in range(3))
+
+    def test_fractions_sum_to_one(self, lines512):
+        for v in (0.575, 0.6, 0.625, 0.7):
+            fractions = lines512.fractions(v)
+            assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+class TestDisabledFraction:
+    def test_matches_tail(self, lines512):
+        v = 0.6
+        assert lines512.expected_disabled_fraction(v, 1) == pytest.approx(
+            1.0 - lines512.p_at_most(v, 1)
+        )
+
+    def test_stronger_correction_disables_less(self, lines512):
+        v = 0.585
+        fractions = [
+            lines512.expected_disabled_fraction(v, t) for t in (1, 2, 3, 11)
+        ]
+        assert all(fractions[i] > fractions[i + 1] for i in range(3))

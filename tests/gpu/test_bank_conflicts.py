@@ -1,0 +1,122 @@
+"""Tests for the optional bank-conflict timing model."""
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.protection import UnprotectedScheme
+from repro.gpu.config import GpuConfig
+from repro.gpu.engine import GpuSimulator
+from repro.traces.base import CuStream, Trace
+
+
+def config(model_banks: bool, n_cus: int = 4) -> GpuConfig:
+    return GpuConfig(
+        n_cus=n_cus,
+        l2=CacheGeometry(
+            size_bytes=64 * 1024, line_bytes=64, associativity=8, banks=4
+        ),
+        model_bank_conflicts=model_banks,
+        bank_conflict_penalty=2,
+    )
+
+
+def same_bank_trace(geo: CacheGeometry, n_cus: int, per_cu: int) -> Trace:
+    # All CUs hammer bank 0 in lockstep, each with its own (always
+    # missing) addresses so every CU reaches the L2 every round.
+    stride = geo.banks * geo.line_bytes  # consecutive same-bank lines
+    streams = []
+    for cu in range(n_cus):
+        addrs = (cu * 100_000 + np.arange(per_cu, dtype=np.int64)) * stride
+        streams.append(CuStream(
+            addrs=addrs,
+            is_store=np.zeros(per_cu, dtype=bool),
+            gaps=np.zeros(per_cu, dtype=np.int64),
+        ))
+    return Trace("same-bank", streams)
+
+
+def spread_bank_trace(geo: CacheGeometry, n_cus: int, per_cu: int) -> Trace:
+    # Each CU owns its own bank.
+    streams = []
+    for cu in range(n_cus):
+        base = (cu % geo.banks) * geo.line_bytes
+        addrs = base + np.arange(per_cu, dtype=np.int64) * geo.banks * geo.line_bytes
+        streams.append(CuStream(
+            addrs=addrs,
+            is_store=np.zeros(per_cu, dtype=bool),
+            gaps=np.zeros(per_cu, dtype=np.int64),
+        ))
+    return Trace("spread-bank", streams)
+
+
+class TestBankModel:
+    def test_off_by_default(self):
+        assert not GpuConfig().model_bank_conflicts
+
+    def test_same_bank_contention_costs_cycles(self):
+        cfg_off = config(False)
+        cfg_on = config(True)
+        trace = same_bank_trace(cfg_on.l2, cfg_on.n_cus, 200)
+        off = GpuSimulator(cfg_off, UnprotectedScheme()).run(trace)
+        on = GpuSimulator(cfg_on, UnprotectedScheme()).run(trace)
+        assert on.cycles > off.cycles
+        # 4 CUs on one bank: the last CU in each round queues behind 3.
+        assert on.cycles - off.cycles >= 3 * 2 * 100
+
+    def test_spread_banks_no_penalty(self):
+        cfg_on = config(True)
+        trace = spread_bank_trace(cfg_on.l2, cfg_on.n_cus, 200)
+        off = GpuSimulator(config(False), UnprotectedScheme()).run(trace)
+        on = GpuSimulator(cfg_on, UnprotectedScheme()).run(trace)
+        assert on.cycles == off.cycles
+
+    def test_l1_hits_never_pay_bank_penalty(self):
+        cfg_on = config(True, n_cus=1)
+        # One CU re-reading one line: everything after the cold miss is
+        # an L1 hit and must not touch the bank model.
+        addrs = np.zeros(100, dtype=np.int64)
+        trace = Trace("l1", [CuStream(
+            addrs=addrs, is_store=np.zeros(100, dtype=bool),
+            gaps=np.zeros(100, dtype=np.int64),
+        )])
+        on = GpuSimulator(cfg_on, UnprotectedScheme()).run(trace)
+        off = GpuSimulator(config(False, n_cus=1), UnprotectedScheme()).run(trace)
+        assert on.cycles == off.cycles
+
+    def test_bank_delay_helper(self):
+        usage: dict = {}
+        assert GpuSimulator._bank_delay(usage, 0, 2) == 0
+        assert GpuSimulator._bank_delay(usage, 0, 2) == 2
+        assert GpuSimulator._bank_delay(usage, 0, 2) == 4
+        assert GpuSimulator._bank_delay(usage, 1, 2) == 0
+
+
+class TestSensitivity:
+    def test_scaled_model(self):
+        from repro.analysis.sensitivity import scaled_cell_model
+
+        base = scaled_cell_model(1.0)
+        scaled = scaled_cell_model(10.0)
+        assert scaled.p_cell(0.625) == pytest.approx(10 * base.p_cell(0.625))
+        with pytest.raises(ValueError):
+            scaled_cell_model(0)
+
+    def test_scaling_clipped(self):
+        from repro.analysis.sensitivity import scaled_cell_model
+
+        model = scaled_cell_model(1e6)
+        assert model.p_cell(0.5) <= 0.5
+
+    def test_sensitivity_run(self):
+        from repro.analysis.sensitivity import pcell_sensitivity
+
+        out = pcell_sensitivity(
+            multipliers=(1.0, 10.0), ecc_ratios=(64,),
+            workload="nekbone", accesses_per_cu=800,
+        )
+        assert out[10.0]["one_fault_lines"] > out[1.0]["one_fault_lines"]
+        # Higher fault rates can only make Killi slower (or equal).
+        assert out[10.0]["killi_1:64"] >= out[1.0]["killi_1:64"] - 0.002
+        for row in out.values():
+            assert row["killi_1:64"] >= 0.999

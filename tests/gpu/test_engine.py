@@ -1,0 +1,139 @@
+"""Tests for the GPU hierarchy and simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.protection import UnprotectedScheme
+from repro.gpu.config import GpuConfig
+from repro.gpu.engine import GpuSimulator
+from repro.gpu.hierarchy import SimpleL1
+from repro.traces.base import CuStream, Trace
+
+
+def small_config(n_cus: int = 2) -> GpuConfig:
+    return GpuConfig(
+        n_cus=n_cus,
+        l2=CacheGeometry(size_bytes=64 * 1024, line_bytes=64, associativity=8),
+    )
+
+
+def make_trace(n_cus: int, addrs_per_cu, stores=None, gaps=None) -> Trace:
+    streams = []
+    for cu in range(n_cus):
+        addrs = np.array(addrs_per_cu[cu], dtype=np.int64)
+        n = len(addrs)
+        streams.append(
+            CuStream(
+                addrs=addrs,
+                is_store=np.array(stores[cu] if stores else [False] * n),
+                gaps=np.array(gaps[cu] if gaps else [0] * n, dtype=np.int64),
+            )
+        )
+    return Trace("directed", streams)
+
+
+class TestSimpleL1:
+    def test_read_allocate(self):
+        l1 = SimpleL1(CacheGeometry(size_bytes=1024, line_bytes=64, associativity=2))
+        assert not l1.read(0)
+        assert l1.read(0)
+        assert l1.stats.read_hits == 1
+
+    def test_write_no_allocate(self):
+        l1 = SimpleL1(CacheGeometry(size_bytes=1024, line_bytes=64, associativity=2))
+        assert not l1.write(0)
+        assert not l1.read(0)
+
+    def test_lru_eviction(self):
+        geo = CacheGeometry(size_bytes=256, line_bytes=64, associativity=2)
+        l1 = SimpleL1(geo)  # 2 sets x 2 ways
+        stride = geo.n_sets * 64
+        l1.read(0)
+        l1.read(stride)
+        l1.read(2 * stride)  # evicts addr 0
+        assert not l1.read(0)
+        assert l1.stats.evictions >= 1
+
+
+class TestEngine:
+    def test_kernel_time_is_slowest_cu(self):
+        config = small_config(2)
+        # CU0 does 1 access, CU1 does 10 with big gaps.
+        trace = make_trace(
+            2,
+            [[0], [64 * i for i in range(10)]],
+            gaps=[[0], [100] * 10],
+        )
+        result = GpuSimulator(config, UnprotectedScheme()).run(trace)
+        assert result.per_cu_cycles[1] > result.per_cu_cycles[0]
+        assert result.cycles == result.per_cu_cycles[1]
+
+    def test_instruction_count(self):
+        config = small_config(1)
+        trace = make_trace(1, [[0, 64]], gaps=[[3, 4]])
+        result = GpuSimulator(config, UnprotectedScheme()).run(trace)
+        assert result.instructions == 3 + 4 + 2
+
+    def test_l1_filters_l2(self):
+        config = small_config(1)
+        trace = make_trace(1, [[0] * 10])
+        sim = GpuSimulator(config, UnprotectedScheme())
+        result = sim.run(trace)
+        assert result.l2_stats.reads == 1  # only the cold miss reached L2
+        assert result.l1_stats[0].read_hits == 9
+
+    def test_stores_write_through_both_levels(self):
+        config = small_config(1)
+        trace = make_trace(1, [[0, 0]], stores=[[True, True]])
+        sim = GpuSimulator(config, UnprotectedScheme())
+        sim.run(trace)
+        assert sim.l2.memory_writes == 2
+
+    def test_mpki(self):
+        config = small_config(1)
+        trace = make_trace(1, [[64 * i for i in range(100)]], gaps=[[9] * 100])
+        result = GpuSimulator(config, UnprotectedScheme()).run(trace)
+        # 100 cold misses over 1000 instructions.
+        assert result.l2_mpki == pytest.approx(100.0)
+
+    def test_cu_count_mismatch_rejected(self):
+        config = small_config(2)
+        trace = make_trace(1, [[0]])
+        with pytest.raises(ValueError):
+            GpuSimulator(config, UnprotectedScheme()).run(trace)
+
+    def test_shared_l2_across_cus(self):
+        config = small_config(2)
+        # CU0 warms a line; CU1 hits it in L2 (its own L1 misses).
+        trace = make_trace(2, [[0, 0], [0, 0]])
+        sim = GpuSimulator(config, UnprotectedScheme())
+        result = sim.run(trace)
+        assert result.l2_stats.read_misses == 1
+
+    def test_latency_accounting(self):
+        config = small_config(1)
+        trace = make_trace(1, [[0, 0]], gaps=[[0, 0]])
+        result = GpuSimulator(config, UnprotectedScheme()).run(trace)
+        lat = config.l2_latencies
+        l1_hit = config.l1_hit_latency
+        expected = (l1_hit + lat.miss) + l1_hit  # cold L2 miss, then L1 hit
+        assert result.cycles == expected
+
+    def test_ipc(self):
+        config = small_config(1)
+        trace = make_trace(1, [[0]], gaps=[[0]])
+        result = GpuSimulator(config, UnprotectedScheme()).run(trace)
+        assert 0 < result.ipc <= 1
+
+    def test_table3_defaults(self):
+        config = GpuConfig()
+        assert config.n_cus == 8
+        assert config.l2.size_bytes == 2 * 1024 * 1024
+        assert config.l2.associativity == 16
+        assert config.l2.banks == 16
+        assert config.l1_size_bytes == 16 * 1024
+        assert config.l2_latencies.tag == 2
+        assert config.l2_latencies.data == 2
+        assert config.l2_latencies.check == 1
+        assert config.l1_geometry().size_bytes == 16 * 1024

@@ -1,0 +1,91 @@
+"""Tests for the power-transition experiment and multi-kernel runs."""
+
+import pytest
+
+from repro.harness.transitions import power_transition_experiment
+
+
+class TestTransitionExperiment:
+    @pytest.fixture(scope="class")
+    def out(self):
+        return power_transition_experiment(
+            workload="nekbone", n_transitions=2, accesses_per_phase=800
+        )
+
+    def test_structure(self, out):
+        assert out["killi"].strategy == "killi"
+        assert out["flair"].strategy == "flair+mbist"
+        assert out["reference_cycles"] > 0
+
+    def test_killi_never_stalls(self, out):
+        assert out["killi"].stall_cycles == 0
+        assert out["killi"].total_cycles == out["killi"].execution_cycles
+
+    def test_mbist_stall_accounting(self, out):
+        expected = 2 * 32768 * out["mbist_cycles_per_line"]
+        assert out["flair"].stall_cycles == expected
+        assert out["flair"].total_cycles == (
+            out["flair"].execution_cycles + expected
+        )
+
+    def test_killi_wins_with_transitions(self, out):
+        assert out["killi"].total_cycles < out["flair"].total_cycles
+
+    def test_zero_transitions_degenerate(self):
+        out = power_transition_experiment(
+            workload="nekbone", n_transitions=0, accesses_per_phase=800
+        )
+        assert out["flair"].stall_cycles == 0
+
+
+class TestMultiKernel:
+    def test_dfh_training_persists_across_kernels(self):
+        # Footnote 6: training happens once per reset, not per kernel.
+        from repro.core import KilliConfig, KilliScheme
+        from repro.faults import FaultMap
+        from repro.gpu import GpuConfig, GpuSimulator
+        from repro.traces import workload_trace
+        from repro.utils.rng import RngFactory
+
+        rngs = RngFactory(5)
+        config = GpuConfig()
+        fault_map = FaultMap(n_lines=config.l2.n_lines, rng=rngs.stream("f"))
+        scheme = KilliScheme(
+            config.l2, fault_map, 0.625, KilliConfig(ecc_ratio=64),
+            rng=rngs.stream("m"),
+        )
+        simulator = GpuSimulator(config, scheme)
+        traces = [
+            workload_trace("nekbone", 1500, rng=rngs.stream(f"t{i}"))
+            for i in range(2)
+        ]
+        transitions_after = []
+        for trace in traces:
+            simulator.run(trace)
+            transitions_after.append(
+                sum(
+                    count for (old, _), count in scheme.transitions.items()
+                    if old == "INITIAL"
+                )
+            )
+        first_kernel = transitions_after[0]
+        second_kernel = transitions_after[1] - transitions_after[0]
+        # Most classification work happened in kernel 1.
+        assert second_kernel < first_kernel
+
+    def test_run_kernels_returns_per_kernel_results(self):
+        from repro.cache.protection import UnprotectedScheme
+        from repro.gpu import GpuConfig, GpuSimulator
+        from repro.traces import workload_trace
+        from repro.utils.rng import RngFactory
+
+        rngs = RngFactory(5)
+        config = GpuConfig()
+        simulator = GpuSimulator(config, UnprotectedScheme())
+        traces = [
+            workload_trace("nekbone", 500, rng=rngs.stream(f"t{i}"))
+            for i in range(3)
+        ]
+        results = simulator.run_kernels(traces)
+        assert len(results) == 3
+        assert all(r.cycles > 0 for r in results)

@@ -1,0 +1,150 @@
+"""Tests for synthetic trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.traces.base import CuStream, Trace
+from repro.traces.generators import WorkloadSpec, generate_trace
+from repro.traces.workloads import WORKLOADS, workload_names, workload_trace
+
+
+class TestContainers:
+    def test_stream_length_validation(self):
+        with pytest.raises(ValueError):
+            CuStream(
+                addrs=np.zeros(3, dtype=np.int64),
+                is_store=np.zeros(2, dtype=bool),
+                gaps=np.zeros(3, dtype=np.int64),
+            )
+
+    def test_instructions(self):
+        stream = CuStream(
+            addrs=np.zeros(4, dtype=np.int64),
+            is_store=np.zeros(4, dtype=bool),
+            gaps=np.array([1, 2, 3, 4], dtype=np.int64),
+        )
+        assert stream.instructions == 10 + 4
+
+    def test_trace_totals(self):
+        stream = CuStream(
+            addrs=np.zeros(4, dtype=np.int64),
+            is_store=np.zeros(4, dtype=bool),
+            gaps=np.ones(4, dtype=np.int64),
+        )
+        trace = Trace("t", [stream, stream])
+        assert trace.total_accesses == 8
+        assert trace.instructions == 16
+
+
+class TestSpecValidation:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", 1024, sweep_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", 1024, store_fraction=-0.1)
+
+    def test_footprint_minimum(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", 32)
+
+    def test_negative_gap(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", 1024, mean_gap=-1)
+
+
+class TestGeneration:
+    def spec(self, **kw):
+        defaults = dict(
+            footprint_bytes=64 * 1024, sweep_fraction=0.5, hot_fraction=0.1,
+            hot_weight=0.5, store_fraction=0.2, mean_gap=5.0,
+        )
+        defaults.update(kw)
+        return WorkloadSpec("test", **defaults)
+
+    def test_shape(self, rng):
+        trace = generate_trace(self.spec(), 1000, n_cus=4, rng=rng)
+        assert len(trace.streams) == 4
+        assert all(len(s) == 1000 for s in trace.streams)
+
+    def test_deterministic(self):
+        a = generate_trace(self.spec(), 500, rng=np.random.default_rng(1))
+        b = generate_trace(self.spec(), 500, rng=np.random.default_rng(1))
+        for sa, sb in zip(a.streams, b.streams):
+            assert (sa.addrs == sb.addrs).all()
+
+    def test_addresses_within_footprint(self, rng):
+        spec = self.spec()
+        trace = generate_trace(spec, 2000, rng=rng)
+        for stream in trace.streams:
+            assert (stream.addrs >= 0).all()
+            assert (stream.addrs < spec.footprint_bytes).all()
+
+    def test_line_aligned(self, rng):
+        trace = generate_trace(self.spec(), 1000, rng=rng)
+        for stream in trace.streams:
+            assert (stream.addrs % 64 == 0).all()
+
+    def test_store_fraction_respected(self, rng):
+        trace = generate_trace(self.spec(store_fraction=0.3), 20000, n_cus=1, rng=rng)
+        fraction = trace.streams[0].is_store.mean()
+        assert 0.27 < fraction < 0.33
+
+    def test_mean_gap_respected(self, rng):
+        trace = generate_trace(self.spec(mean_gap=10.0), 20000, n_cus=1, rng=rng)
+        assert 9.0 < trace.streams[0].gaps.mean() < 11.0
+
+    def test_zero_gap(self, rng):
+        trace = generate_trace(self.spec(mean_gap=0.0), 100, rng=rng)
+        assert (trace.streams[0].gaps == 0).all()
+
+    def test_pure_sweep_is_sequential(self, rng):
+        trace = generate_trace(self.spec(sweep_fraction=1.0), 500, n_cus=1, rng=rng)
+        diffs = np.diff(trace.streams[0].addrs)
+        wrap = self.spec().footprint_bytes - 64
+        assert all(d == 64 or d == -wrap for d in diffs)
+
+    def test_cus_sweep_from_distinct_offsets(self, rng):
+        trace = generate_trace(self.spec(sweep_fraction=1.0), 10, n_cus=4, rng=rng)
+        starts = {int(s.addrs[0]) for s in trace.streams}
+        assert len(starts) == 4
+
+    def test_hot_set_concentration(self, rng):
+        spec = self.spec(sweep_fraction=0.0, hot_fraction=0.05, hot_weight=0.9)
+        trace = generate_trace(spec, 20000, n_cus=1, rng=rng)
+        hot_boundary = int((spec.footprint_bytes // 64) * 0.05) * 64
+        hot_hits = (trace.streams[0].addrs < hot_boundary).mean()
+        assert hot_hits > 0.85
+
+    def test_invalid_counts(self, rng):
+        with pytest.raises(ValueError):
+            generate_trace(self.spec(), 0, rng=rng)
+        with pytest.raises(ValueError):
+            generate_trace(self.spec(), 10, n_cus=0, rng=rng)
+
+
+class TestNamedWorkloads:
+    def test_ten_workloads(self):
+        assert len(workload_names()) == 10
+        assert "xsbench" in workload_names()
+        assert "fft" in workload_names()
+
+    def test_all_generate(self, rngs):
+        for name in workload_names():
+            trace = workload_trace(name, 100, rng=rngs.stream(name))
+            assert trace.total_accesses == 800
+            assert trace.name == name
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            workload_trace("nope", 10)
+
+    def test_behaviour_classes(self):
+        # The paper's buckets: memory-bound apps have low mean_gap,
+        # compute-bound high; fft sits at the L2 capacity edge.
+        assert WORKLOADS["xsbench"].mean_gap <= 4
+        assert WORKLOADS["snap"].mean_gap <= 4
+        assert WORKLOADS["nekbone"].mean_gap >= 15
+        assert WORKLOADS["comd"].mean_gap >= 15
+        l2 = 2 * 1024 * 1024
+        assert 0.9 * l2 < WORKLOADS["fft"].footprint_bytes < l2
+        assert WORKLOADS["snap"].footprint_bytes > 2 * l2

@@ -1,0 +1,47 @@
+"""Tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.traces import workload_trace
+from repro.traces.io import load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_save_load_identical(self, tmp_path, rngs):
+        trace = workload_trace("nekbone", 500, rng=rngs.stream("t"))
+        path = str(tmp_path / "trace.npz")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert len(loaded.streams) == len(trace.streams)
+        for a, b in zip(trace.streams, loaded.streams):
+            assert (a.addrs == b.addrs).all()
+            assert (a.is_store == b.is_store).all()
+            assert (a.gaps == b.gaps).all()
+
+    def test_simulation_identical_after_reload(self, tmp_path, rngs):
+        from repro.cache.protection import UnprotectedScheme
+        from repro.gpu import GpuConfig, GpuSimulator
+
+        trace = workload_trace("nekbone", 400, rng=rngs.stream("t"))
+        path = str(tmp_path / "trace.npz")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        config = GpuConfig()
+        a = GpuSimulator(config, UnprotectedScheme()).run(trace)
+        b = GpuSimulator(config, UnprotectedScheme()).run(loaded)
+        assert a.cycles == b.cycles
+        assert a.l2_stats.misses == b.l2_stats.misses
+
+    def test_instructions_preserved(self, tmp_path, rngs):
+        trace = workload_trace("fft", 300, rng=rngs.stream("t"))
+        path = str(tmp_path / "t.npz")
+        save_trace(trace, path)
+        assert load_trace(path).instructions == trace.instructions
+
+    def test_bad_archive_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.npz")
+        np.savez_compressed(path, something=np.arange(3))
+        with pytest.raises(ValueError):
+            load_trace(path)

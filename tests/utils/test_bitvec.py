@@ -1,0 +1,104 @@
+"""Unit and property tests for repro.utils.bitvec."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import bitvec
+
+
+class TestConstructors:
+    def test_zeros(self):
+        z = bitvec.zeros(10)
+        assert len(z) == 10
+        assert z.dtype == np.uint8
+        assert not z.any()
+
+    def test_ones(self):
+        o = bitvec.ones(7)
+        assert o.sum() == 7
+
+    def test_random_bits_deterministic(self):
+        a = bitvec.random_bits(np.random.default_rng(3), 100)
+        b = bitvec.random_bits(np.random.default_rng(3), 100)
+        assert (a == b).all()
+
+    def test_random_bits_values(self):
+        bits = bitvec.random_bits(np.random.default_rng(0), 1000)
+        assert set(np.unique(bits)) <= {0, 1}
+
+
+class TestIntConversion:
+    def test_round_trip_simple(self):
+        bits = bitvec.bits_from_int(0b1011, 8)
+        assert list(bits[:4]) == [1, 1, 0, 1]
+        assert bitvec.bits_to_int(bits) == 0b1011
+
+    def test_zero(self):
+        assert bitvec.bits_to_int(bitvec.bits_from_int(0, 4)) == 0
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError):
+            bitvec.bits_from_int(16, 4)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            bitvec.bits_from_int(-1, 4)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_round_trip_property(self, value):
+        assert bitvec.bits_to_int(bitvec.bits_from_int(value, 64)) == value
+
+
+class TestBytesConversion:
+    def test_round_trip(self):
+        data = bytes(range(64))
+        assert bitvec.bits_to_bytes(bitvec.bits_from_bytes(data)) == data
+
+    def test_bit_order_lsb_first(self):
+        bits = bitvec.bits_from_bytes(b"\x01")
+        assert bits[0] == 1
+        assert not bits[1:].any()
+
+    def test_non_multiple_of_8_raises(self):
+        with pytest.raises(ValueError):
+            bitvec.bits_to_bytes(bitvec.zeros(7))
+
+    @given(st.binary(min_size=0, max_size=128))
+    def test_round_trip_property(self, data):
+        assert bitvec.bits_to_bytes(bitvec.bits_from_bytes(data)) == data
+
+
+class TestPopcountParity:
+    def test_popcount(self):
+        assert bitvec.popcount(bitvec.bits_from_int(0b10110, 8)) == 3
+
+    def test_parity_even(self):
+        assert bitvec.parity(bitvec.bits_from_int(0b11, 4)) == 0
+
+    def test_parity_odd(self):
+        assert bitvec.parity(bitvec.bits_from_int(0b111, 4)) == 1
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_parity_matches_popcount(self, value):
+        bits = bitvec.bits_from_int(value, 32)
+        assert bitvec.parity(bits) == bitvec.popcount(bits) % 2
+
+
+class TestFlipBits:
+    def test_flip(self):
+        bits = bitvec.zeros(8)
+        flipped = bitvec.flip_bits(bits, [1, 3])
+        assert flipped[1] == 1 and flipped[3] == 1
+        assert bitvec.popcount(flipped) == 2
+
+    def test_flip_is_involution(self):
+        bits = bitvec.random_bits(np.random.default_rng(1), 32)
+        twice = bitvec.flip_bits(bitvec.flip_bits(bits, [5, 9]), [5, 9])
+        assert (twice == bits).all()
+
+    def test_flip_does_not_mutate(self):
+        bits = bitvec.zeros(8)
+        bitvec.flip_bits(bits, [0])
+        assert not bits.any()

@@ -1,0 +1,89 @@
+"""Tests for deterministic named RNG streams."""
+
+import pytest
+
+from repro.utils.rng import RngFactory
+
+
+class TestRngFactory:
+    def test_same_name_same_stream(self):
+        a = RngFactory(7).stream("x").integers(0, 1000, 10)
+        b = RngFactory(7).stream("x").integers(0, 1000, 10)
+        assert (a == b).all()
+
+    def test_different_names_differ(self):
+        a = RngFactory(7).stream("x").integers(0, 1000, 10)
+        b = RngFactory(7).stream("y").integers(0, 1000, 10)
+        assert (a != b).any()
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(7).stream("x").integers(0, 1000, 10)
+        b = RngFactory(8).stream("x").integers(0, 1000, 10)
+        assert (a != b).any()
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RngFactory(-1)
+
+    def test_child_namespacing(self):
+        root = RngFactory(7)
+        child = root.child("ns")
+        a = child.stream("x").integers(0, 1000, 10)
+        b = root.stream("x").integers(0, 1000, 10)
+        assert (a != b).any()
+
+    def test_child_deterministic(self):
+        a = RngFactory(7).child("ns").stream("x").integers(0, 1000, 10)
+        b = RngFactory(7).child("ns").stream("x").integers(0, 1000, 10)
+        assert (a == b).all()
+
+    def test_nested_children(self):
+        a = RngFactory(7).child("a").child("b").stream("x").integers(0, 100, 5)
+        b = RngFactory(7).child("a").child("b").stream("x").integers(0, 100, 5)
+        assert (a == b).all()
+
+
+class TestUnits:
+    def test_bits_to_kib(self):
+        from repro.utils.units import bits_to_kib
+
+        assert bits_to_kib(8 * 1024) == 1.0
+
+    def test_format_small(self):
+        from repro.utils.units import format_size_bits
+
+        assert format_size_bits(41) == "41b"
+
+    def test_format_large(self):
+        from repro.utils.units import format_size_bits
+
+        assert format_size_bits(8 * 1024 * 24) == "24.00KiB"
+
+
+class TestTables:
+    def test_basic_render(self):
+        from repro.utils.tables import format_table
+
+        out = format_table(["a", "b"], [[1, 2], [3, 4]], title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_arity_mismatch_raises(self):
+        from repro.utils.tables import format_table
+
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_float_formatting(self):
+        from repro.utils.tables import format_table
+
+        out = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_series(self):
+        from repro.utils.tables import format_series
+
+        out = format_series("y", [1, 2], [10, 20])
+        assert "10" in out and "20" in out
