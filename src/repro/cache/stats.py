@@ -12,6 +12,23 @@ from dataclasses import dataclass, field
 
 __all__ = ["CacheStats"]
 
+#: Names of the plain integer counters (every field except ``extra``).
+_COUNTER_FIELDS = (
+    "reads",
+    "writes",
+    "read_hits",
+    "write_hits",
+    "read_misses",
+    "write_misses",
+    "evictions",
+    "fills",
+    "bypasses",
+    "error_induced_misses",
+    "corrected_reads",
+    "ecc_evict_invalidations",
+    "invalidations",
+)
+
 
 @dataclass
 class CacheStats:
@@ -55,31 +72,48 @@ class CacheStats:
         return self.read_misses / self.reads if self.reads else 0.0
 
     def mpki(self, instructions: int) -> float:
-        """Misses per kilo-instruction (Figure 5's metric)."""
+        """Misses per kilo-instruction (Figure 5's metric).
+
+        A zero or negative instruction count yields 0.0, matching
+        :attr:`miss_rate` with no reads and ``KernelResult.ipc`` with
+        no cycles: an empty denominator means "no work", not an error.
+        """
         if instructions <= 0:
-            raise ValueError("instructions must be positive")
+            return 0.0
         return 1000.0 * self.misses / instructions
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment a scheme-specific counter."""
         self.extra[name] = self.extra.get(name, 0) + amount
 
+    def copy(self) -> "CacheStats":
+        """Independent snapshot (the ``extra`` dict is copied too)."""
+        out = CacheStats(**{name: getattr(self, name) for name in _COUNTER_FIELDS})
+        out.extra = dict(self.extra)
+        return out
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter-wise difference ``self - earlier``.
+
+        Used to report per-kernel statistics when one cache instance
+        (and hence one live counter set) persists across kernels.
+        """
+        out = CacheStats(
+            **{
+                name: getattr(self, name) - getattr(earlier, name)
+                for name in _COUNTER_FIELDS
+            }
+        )
+        for key in set(self.extra) | set(earlier.extra):
+            out.extra[key] = self.extra.get(key, 0) - earlier.extra.get(key, 0)
+        return out
+
     def as_dict(self) -> dict:
-        """Flat dict of all counters (for harness CSV output)."""
-        out = {
-            "reads": self.reads,
-            "writes": self.writes,
-            "read_hits": self.read_hits,
-            "write_hits": self.write_hits,
-            "read_misses": self.read_misses,
-            "write_misses": self.write_misses,
-            "evictions": self.evictions,
-            "fills": self.fills,
-            "bypasses": self.bypasses,
-            "error_induced_misses": self.error_induced_misses,
-            "corrected_reads": self.corrected_reads,
-            "ecc_evict_invalidations": self.ecc_evict_invalidations,
-            "invalidations": self.invalidations,
-        }
+        """Flat dict of every counter, including the derived totals
+        (``accesses``/``hits``/``misses``) so CSV exports are complete."""
+        out = {name: getattr(self, name) for name in _COUNTER_FIELDS}
+        out["accesses"] = self.accesses
+        out["hits"] = self.hits
+        out["misses"] = self.misses
         out.update(self.extra)
         return out

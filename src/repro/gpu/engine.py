@@ -8,11 +8,25 @@ are interleaved round-robin so the shared L2 sees realistically mixed
 traffic.  The kernel's execution time is the slowest CU's cycle count
 — the metric normalised in the paper's Figure 4 — and L2 MPKI over
 total instructions is Figure 5's metric.
+
+Two interchangeable inner loops implement the model:
+
+- ``engine="vectorized"`` (default): the round-robin interleave and
+  per-CU gap totals are computed once with numpy, leaving a single
+  flat pass over the merged access sequence.
+- ``engine="scalar"``: the original per-round Python loop, kept as
+  the reference implementation.
+
+Both produce bit-identical results — cycles, per-CU cycles and every
+:class:`~repro.cache.stats.CacheStats` counter — which the test suite
+pins across workloads and schemes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.cache.protection import ProtectionScheme
 from repro.cache.stats import CacheStats
@@ -23,10 +37,20 @@ from repro.traces.base import Trace
 
 __all__ = ["KernelResult", "GpuSimulator"]
 
+#: Valid inner-loop implementations.
+ENGINES = ("vectorized", "scalar")
+
 
 @dataclass
 class KernelResult:
-    """Outcome of simulating one kernel (one trace)."""
+    """Outcome of simulating one kernel (one trace).
+
+    ``l2_stats`` / ``l1_stats`` are *per-kernel* snapshots: the deltas
+    accumulated while this kernel ran.  They are plain copies — later
+    kernels on the same simulator never mutate them.  The running
+    totals (cache state persists across kernels) are available as
+    ``l2_stats_cumulative`` / ``l1_stats_cumulative``.
+    """
 
     workload: str
     cycles: int
@@ -38,6 +62,8 @@ class KernelResult:
     l2_stats: CacheStats
     l1_stats: list = field(default_factory=list)
     per_cu_cycles: list = field(default_factory=list)
+    l2_stats_cumulative: CacheStats | None = None
+    l1_stats_cumulative: list = field(default_factory=list)
 
     @property
     def l2_mpki(self) -> float:
@@ -47,7 +73,7 @@ class KernelResult:
     @property
     def ipc(self) -> float:
         """Aggregate instructions per (kernel) cycle."""
-        return self.instructions / self.cycles if self.cycles else 0.0
+        return self.instructions / self.cycles if self.cycles > 0 else 0.0
 
 
 class GpuSimulator:
@@ -60,10 +86,21 @@ class GpuSimulator:
     l2_scheme:
         Protection scheme for the L2 (Killi, a baseline, or the
         fault-free :class:`~repro.cache.UnprotectedScheme`).
+    engine:
+        Default inner loop: ``"vectorized"`` (numpy-flattened fast
+        path) or ``"scalar"`` (reference implementation).
     """
 
-    def __init__(self, config: GpuConfig | None = None, l2_scheme: ProtectionScheme | None = None):
+    def __init__(
+        self,
+        config: GpuConfig | None = None,
+        l2_scheme: ProtectionScheme | None = None,
+        engine: str = "vectorized",
+    ):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.config = config if config is not None else GpuConfig()
+        self.engine = engine
         self.l2 = WriteThroughCache(
             self.config.l2, l2_scheme, self.config.l2_latencies
         )
@@ -78,13 +115,46 @@ class GpuSimulator:
         bank_usage[bank] = queued + 1
         return queued * penalty
 
-    def run(self, trace: Trace) -> KernelResult:
-        """Simulate one kernel and return its metrics."""
-        n_cus = self.config.n_cus
-        if len(trace.streams) != n_cus:
+    def run(self, trace: Trace, engine: str | None = None) -> KernelResult:
+        """Simulate one kernel and return its metrics.
+
+        ``engine`` overrides the simulator's default inner loop for
+        this kernel only; both loops are bit-equivalent.
+        """
+        engine = engine if engine is not None else self.engine
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if len(trace.streams) != self.config.n_cus:
             raise ValueError(
-                f"trace has {len(trace.streams)} CU streams, GPU has {n_cus}"
+                f"trace has {len(trace.streams)} CU streams, "
+                f"GPU has {self.config.n_cus}"
             )
+        l2_before = self.l2.stats.copy()
+        l1_before = [l1.stats.copy() for l1 in self.l1s]
+
+        if engine == "vectorized":
+            cycles = self._run_vectorized(trace)
+        else:
+            cycles = self._run_scalar(trace)
+
+        l2_after = self.l2.stats.copy()
+        l1_after = [l1.stats.copy() for l1 in self.l1s]
+        return KernelResult(
+            workload=trace.name,
+            cycles=max(cycles) if cycles else 0,
+            instructions=trace.instructions,
+            l2_stats=l2_after.delta(l2_before),
+            l1_stats=[a.delta(b) for a, b in zip(l1_after, l1_before)],
+            per_cu_cycles=list(cycles),
+            l2_stats_cumulative=l2_after,
+            l1_stats_cumulative=l1_after,
+        )
+
+    # -- scalar reference loop ---------------------------------------------
+
+    def _run_scalar(self, trace: Trace) -> list:
+        """Original per-round loop; the reference implementation."""
+        n_cus = self.config.n_cus
         l1_hit_latency = self.config.l1_hit_latency
         l2 = self.l2
         cycles = [0] * n_cus
@@ -132,15 +202,85 @@ class GpuSimulator:
                         cycles[cu] += l1_hit_latency + l2.read(addr)
                 position[cu] = i + 1
                 remaining -= 1
+        return cycles
 
-        return KernelResult(
-            workload=trace.name,
-            cycles=max(cycles) if cycles else 0,
-            instructions=trace.instructions,
-            l2_stats=l2.stats,
-            l1_stats=[l1.stats for l1 in l1s],
-            per_cu_cycles=list(cycles),
+    # -- vectorized fast path ----------------------------------------------
+
+    def _flatten_round_robin(self, trace: Trace):
+        """Merge CU streams into one round-robin-ordered flat sequence.
+
+        Returns ``(addrs, stores, cus, rounds, gap_totals)`` where the
+        first four are aligned Python lists in exactly the order the
+        scalar loop visits accesses (round-major, CU-minor), and
+        ``gap_totals[cu]`` is that CU's summed compute-gap cycles.
+        """
+        addr_parts, store_parts, pos_parts, cu_parts, gap_totals = [], [], [], [], []
+        for cu, stream in enumerate(trace.streams):
+            n = len(stream.addrs)
+            addr_parts.append(np.asarray(stream.addrs, dtype=np.int64))
+            store_parts.append(np.asarray(stream.is_store, dtype=bool))
+            pos_parts.append(np.arange(n, dtype=np.int64))
+            cu_parts.append(np.full(n, cu, dtype=np.int64))
+            gap_totals.append(int(np.sum(np.asarray(stream.gaps, dtype=np.int64))))
+        if not addr_parts or sum(len(p) for p in addr_parts) == 0:
+            return [], [], [], [], gap_totals
+        addrs = np.concatenate(addr_parts)
+        stores = np.concatenate(store_parts)
+        pos = np.concatenate(pos_parts)
+        cus = np.concatenate(cu_parts)
+        # Round-major, CU-minor: the scalar loop's visit order.
+        order = np.lexsort((cus, pos))
+        return (
+            addrs[order].tolist(),
+            stores[order].tolist(),
+            cus[order].tolist(),
+            pos[order].tolist(),
+            gap_totals,
         )
+
+    def _run_vectorized(self, trace: Trace) -> list:
+        """Flat-pass loop over the numpy-merged access sequence.
+
+        Gap accounting is batched (one ``np.sum`` per CU — addition
+        commutes within a CU), and the round-robin bookkeeping is a
+        precomputed sort instead of per-round position scans.  Cache
+        state still advances access by access, in the scalar loop's
+        exact order, so all statistics match bit for bit.
+        """
+        n_cus = self.config.n_cus
+        addrs, stores, cus, rounds, gap_totals = self._flatten_round_robin(trace)
+        latency = [0] * n_cus
+        l1s = self.l1s
+        l2_read = self.l2.read
+        l2_write = self.l2.write
+        l1_hit_latency = self.config.l1_hit_latency
+        model_banks = self.config.model_bank_conflicts
+        bank_penalty = self.config.bank_conflict_penalty
+        bank_of = self.config.l2.bank_of
+        bank_usage: dict = {}
+        current_round = -1
+
+        for addr, is_store, cu, rnd in zip(addrs, stores, cus, rounds):
+            if model_banks and rnd != current_round:
+                bank_usage = {}
+                current_round = rnd
+            if is_store:
+                l1s[cu].write(addr)
+                if model_banks:
+                    latency[cu] += self._bank_delay(
+                        bank_usage, bank_of(addr), bank_penalty
+                    )
+                latency[cu] += l2_write(addr)
+            else:
+                if l1s[cu].read(addr):
+                    latency[cu] += l1_hit_latency
+                else:
+                    if model_banks:
+                        latency[cu] += self._bank_delay(
+                            bank_usage, bank_of(addr), bank_penalty
+                        )
+                    latency[cu] += l1_hit_latency + l2_read(addr)
+        return [gap_totals[cu] + latency[cu] for cu in range(n_cus)]
 
     def run_kernels(self, traces) -> list:
         """Run a sequence of kernels back to back.
@@ -149,8 +289,9 @@ class GpuSimulator:
         training state persist across kernels: "the process of
         training the DFH bits happens once per reset cycle and not on
         context switches" (paper footnote 6).  Each returned
-        :class:`KernelResult` carries the *cumulative* L2 stats (they
-        are one shared object); per-kernel cycle counts are the
-        difference of interest, and the paper's metric is their sum.
+        :class:`KernelResult` carries that kernel's *own* stats delta
+        in ``l2_stats``/``l1_stats`` (snapshots — running a later
+        kernel never mutates an earlier result) plus the cumulative
+        view in ``l2_stats_cumulative``/``l1_stats_cumulative``.
         """
         return [self.run(trace) for trace in traces]

@@ -1,9 +1,11 @@
 """Experiment harness.
 
 One runner per table/figure of the paper's evaluation (see DESIGN.md's
-experiment index), a scheme factory shared by all of them, and a CLI
-(``killi-experiment``) that prints the regenerated rows/series next to
-the paper's numbers recorded in EXPERIMENTS.md.
+experiment index), a scheme factory shared by all of them, a parallel
+cell-execution engine (:mod:`repro.harness.runner`) every simulation
+campaign goes through, and a CLI (``killi-experiment``) that prints
+the regenerated rows/series next to the paper's numbers recorded in
+EXPERIMENTS.md.
 """
 
 from repro.harness.experiments import (
@@ -12,15 +14,21 @@ from repro.harness.experiments import (
     fig2_line_distribution,
     fig4_fig5_performance,
     fig6_coverage,
-    make_scheme,
     run_experiment,
-    scheme_names,
     table4_strong_ecc,
     table5_area,
     table6_power,
     table7_olsc,
 )
 from repro.harness.results import PerfPoint, PerformanceMatrix
+from repro.harness.runner import (
+    CellResult,
+    CellSpec,
+    make_scheme,
+    run_cell,
+    run_cells,
+    scheme_names,
+)
 
 __all__ = [
     "EXPERIMENTS",
@@ -37,4 +45,8 @@ __all__ = [
     "table7_olsc",
     "PerfPoint",
     "PerformanceMatrix",
+    "CellSpec",
+    "CellResult",
+    "run_cell",
+    "run_cells",
 ]

@@ -13,14 +13,11 @@ Each runner compares Killi with one mechanism toggled:
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
-from repro.cache.wbcache import WriteBackCache
-from repro.cache.wtcache import WriteThroughCache
-from repro.core import KilliConfig, KilliScheme, KilliWriteBackScheme
+from repro.core import KilliConfig, KilliScheme
 from repro.faults import FaultMap
-from repro.gpu import GpuConfig, GpuSimulator
-from repro.traces import workload_trace
+from repro.harness.runner import LV_VOLTAGE, CellResult, CellSpec, run_cell, run_cells
 from repro.utils.rng import RngFactory
 
 __all__ = [
@@ -32,72 +29,75 @@ __all__ = [
     "ablate_writeback",
 ]
 
-LV_VOLTAGE = 0.625
 
-
-def _run_killi(
+def _killi_spec(
     workload: str,
-    config: KilliConfig,
+    ecc_ratio: int,
     accesses_per_cu: int,
     seed: int,
-    scheme_cls=KilliScheme,
-    cache_cls=None,
-):
-    """One (workload, Killi-config) simulation; returns (result, scheme)."""
-    rngs = RngFactory(seed)
-    gpu_config = GpuConfig()
-    fault_map = FaultMap(n_lines=gpu_config.l2.n_lines, rng=rngs.stream("fault-map"))
-    trace = workload_trace(
-        workload, accesses_per_cu, n_cus=gpu_config.n_cus,
-        rng=rngs.stream(f"trace/{workload}"),
+    overrides: Optional[dict] = None,
+    write_back: bool = False,
+) -> CellSpec:
+    """One (workload, Killi-config) ablation cell."""
+    return CellSpec(
+        workload=workload,
+        scheme=f"killi_1:{ecc_ratio}",
+        voltage=LV_VOLTAGE,
+        seed=seed,
+        accesses_per_cu=accesses_per_cu,
+        scheme_config=overrides or {},
+        write_back=write_back,
     )
-    scheme = scheme_cls(
-        gpu_config.l2, fault_map, LV_VOLTAGE, config, rng=rngs.stream("mask")
-    )
-    simulator = GpuSimulator(gpu_config, scheme)
-    if cache_cls is not None:
-        simulator.l2 = cache_cls(gpu_config.l2, scheme, gpu_config.l2_latencies)
-    result = simulator.run(trace)
-    return result, scheme, simulator
 
 
-def _summary(result, scheme) -> Dict:
+def _summary(cell: CellResult) -> Dict:
     return {
-        "cycles": result.cycles,
-        "mpki": result.l2_mpki,
-        "misses": result.l2_stats.misses,
-        "error_induced_misses": result.l2_stats.error_induced_misses,
-        "ecc_evict_invalidations": result.l2_stats.ecc_evict_invalidations,
-        "sdc_events": scheme.sdc_events,
-        "dfh": scheme.dfh_histogram(),
+        "cycles": cell.cycles,
+        "mpki": cell.l2_mpki,
+        "misses": cell.l2_misses,
+        "error_induced_misses": cell.l2.get("error_induced_misses", 0),
+        "ecc_evict_invalidations": cell.l2.get("ecc_evict_invalidations", 0),
+        "sdc_events": cell.sdc_events,
+        "dfh": cell.dfh,
     }
 
 
 def ablate_priority_replacement(
     workload: str = "fft", ecc_ratio: int = 64,
-    accesses_per_cu: int = 8000, seed: int = 42,
+    accesses_per_cu: int = 8000, seed: int = 42, jobs: int = 1,
 ) -> Dict[str, Dict]:
     """Killi's DFH-priority victim selection on vs off."""
-    out = {}
-    for label, enabled in (("priority", True), ("plain_lru", False)):
-        config = KilliConfig(ecc_ratio=ecc_ratio, priority_replacement=enabled)
-        result, scheme, _ = _run_killi(workload, config, accesses_per_cu, seed)
-        out[label] = _summary(result, scheme)
-    return out
+    labels = {"priority": True, "plain_lru": False}
+    cells = run_cells(
+        [
+            _killi_spec(workload, ecc_ratio, accesses_per_cu, seed,
+                        {"priority_replacement": enabled})
+            for enabled in labels.values()
+        ],
+        jobs=jobs,
+    )
+    return {label: _summary(cell) for label, cell in zip(labels, cells)}
 
 
 def ablate_eviction_training(
     workload: str = "fft", ecc_ratio: int = 64,
-    accesses_per_cu: int = 8000, seed: int = 42,
+    accesses_per_cu: int = 8000, seed: int = 42, jobs: int = 1,
 ) -> Dict[str, Dict]:
     """Classify-on-evict (Section 4.4) on vs off."""
+    labels = {"train_on_evict": True, "hits_only": False}
+    cells = run_cells(
+        [
+            _killi_spec(workload, ecc_ratio, accesses_per_cu, seed,
+                        {"train_on_evict": enabled})
+            for enabled in labels.values()
+        ],
+        jobs=jobs,
+    )
     out = {}
-    for label, enabled in (("train_on_evict", True), ("hits_only", False)):
-        config = KilliConfig(ecc_ratio=ecc_ratio, train_on_evict=enabled)
-        result, scheme, _ = _run_killi(workload, config, accesses_per_cu, seed)
-        summary = _summary(result, scheme)
+    for label, cell in zip(labels, cells):
+        summary = _summary(cell)
         summary["trained_fraction"] = 1.0 - (
-            scheme.dfh_histogram().get("INITIAL", 0) / len(scheme.dfh)
+            (cell.dfh or {}).get("INITIAL", 0) / cell.dfh_lines
         )
         out[label] = summary
     return out
@@ -105,28 +105,34 @@ def ablate_eviction_training(
 
 def ablate_inverted_write_training(
     workload: str = "miniamr", ecc_ratio: int = 64,
-    accesses_per_cu: int = 8000, seed: int = 42,
+    accesses_per_cu: int = 8000, seed: int = 42, jobs: int = 1,
 ) -> Dict[str, Dict]:
     """Inverted-write masked-fault mitigation (Section 5.6.2) on vs off."""
-    out = {}
-    for label, enabled in (("inverted", True), ("plain", False)):
-        config = KilliConfig(ecc_ratio=ecc_ratio, inverted_write_training=enabled)
-        result, scheme, _ = _run_killi(workload, config, accesses_per_cu, seed)
-        out[label] = _summary(result, scheme)
-    return out
+    labels = {"inverted": True, "plain": False}
+    cells = run_cells(
+        [
+            _killi_spec(workload, ecc_ratio, accesses_per_cu, seed,
+                        {"inverted_write_training": enabled})
+            for enabled in labels.values()
+        ],
+        jobs=jobs,
+    )
+    return {label: _summary(cell) for label, cell in zip(labels, cells)}
 
 
 def ablate_ecc_ratio(
     workload: str = "fft", ratios=(256, 64, 16),
-    accesses_per_cu: int = 8000, seed: int = 42,
+    accesses_per_cu: int = 8000, seed: int = 42, jobs: int = 1,
 ) -> Dict[str, Dict]:
     """The paper's own sweep, exposed as an ablation on one workload."""
-    out = {}
-    for ratio in ratios:
-        config = KilliConfig(ecc_ratio=ratio)
-        result, scheme, _ = _run_killi(workload, config, accesses_per_cu, seed)
-        out[f"1:{ratio}"] = _summary(result, scheme)
-    return out
+    cells = run_cells(
+        [
+            _killi_spec(workload, ratio, accesses_per_cu, seed)
+            for ratio in ratios
+        ],
+        jobs=jobs,
+    )
+    return {f"1:{ratio}": _summary(cell) for ratio, cell in zip(ratios, cells)}
 
 
 def ablate_parity_interleaving(
@@ -176,18 +182,16 @@ def ablate_writeback(
 ) -> Dict[str, Dict]:
     """Write-through Killi vs the write-back extension (Section 5.6.1)."""
     out = {}
-    config = KilliConfig(ecc_ratio=ecc_ratio)
-    result, scheme, sim = _run_killi(workload, config, accesses_per_cu, seed)
-    summary = _summary(result, scheme)
-    summary["memory_writes"] = sim.l2.memory_writes
+    cell = run_cell(_killi_spec(workload, ecc_ratio, accesses_per_cu, seed))
+    summary = _summary(cell)
+    summary["memory_writes"] = cell.memory_writes
     out["write_through"] = summary
 
-    result, scheme, sim = _run_killi(
-        workload, config, accesses_per_cu, seed,
-        scheme_cls=KilliWriteBackScheme, cache_cls=WriteBackCache,
+    cell = run_cell(
+        _killi_spec(workload, ecc_ratio, accesses_per_cu, seed, write_back=True)
     )
-    summary = _summary(result, scheme)
-    summary["memory_writes"] = sim.l2.memory_writes
-    summary["due_on_dirty"] = sim.l2.stats.extra.get("due_on_dirty", 0)
+    summary = _summary(cell)
+    summary["memory_writes"] = cell.memory_writes
+    summary["due_on_dirty"] = cell.l2.get("due_on_dirty", 0)
     out["write_back"] = summary
     return out

@@ -5,6 +5,7 @@ Examples::
     killi-experiment table5
     killi-experiment fig6
     killi-experiment fig4 --accesses 10000 --workloads fft xsbench
+    killi-experiment fig4 --jobs 4 --cache .killi-cache
     killi-experiment all --quick
 """
 
@@ -17,6 +18,21 @@ from repro.harness import experiments
 from repro.utils.tables import format_table
 
 __all__ = ["main"]
+
+
+def _progress_printer(args):
+    """Per-cell progress reporter for parallel/cached runs (stderr)."""
+    if args.jobs <= 1 and not args.cache:
+        return None
+
+    def report(done, total, cell):
+        tag = " (cached)" if cell.from_cache else f" {cell.elapsed_s:.1f}s"
+        print(
+            f"[{done}/{total}] {cell.workload}/{cell.scheme}{tag}",
+            file=sys.stderr,
+        )
+
+    return report
 
 
 def _print_series(title: str, data: dict) -> None:
@@ -43,6 +59,9 @@ def _run_perf(args) -> None:
         workloads=args.workloads or None,
         accesses_per_cu=args.accesses,
         seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        progress=_progress_printer(args),
     )
     print(matrix.fig4_table())
     print()
@@ -91,7 +110,11 @@ def _run_table7() -> None:
 
 
 def _run_sec55(args) -> None:
-    data = experiments.sec55_lower_vmin(accesses_per_cu=min(args.accesses, 8000))
+    data = experiments.sec55_lower_vmin(
+        accesses_per_cu=min(args.accesses, 8000),
+        jobs=args.jobs,
+        cache_dir=args.cache,
+    )
     rows = []
     for key in ("baseline", "msecc", "killi_secded_1:8", "killi_olsc_1:8"):
         row = data[key]
@@ -150,6 +173,8 @@ def _export_csv(args) -> None:
             workloads=args.workloads or None,
             accesses_per_cu=args.accesses,
             seed=args.seed,
+            jobs=args.jobs,
+            cache_dir=args.cache,
         )
         write_csv(path("fig4_fig5"), matrix_to_csv(matrix))
     print(f"CSV written under {args.csv}/")
@@ -175,6 +200,16 @@ def main(argv=None) -> int:
         help="restrict Figure 4/5 to these workloads",
     )
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for simulation matrices (default 1: serial; "
+             "results are bit-identical at any N)",
+    )
+    parser.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="on-disk result cache: unchanged (workload, scheme, voltage, "
+             "seed) cells are re-loaded instead of re-simulated",
+    )
     parser.add_argument(
         "--quick", action="store_true",
         help="shrink simulation experiments (5000 accesses per CU)",

@@ -8,20 +8,25 @@ benchmarks can run them at reduced size.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 
 from repro.analysis.area import AreaModel
 from repro.analysis.coverage import CoverageModel
 from repro.analysis.power import PowerModel
-from repro.baselines import DectedScheme, FlairScheme, MsEccScheme
-from repro.cache.protection import ProtectionScheme, UnprotectedScheme
 from repro.core import KilliConfig, KilliScheme
 from repro.faults import CellFaultModel, FaultMap, FaultMechanism, LineFaultModel
-from repro.gpu import GpuConfig, GpuSimulator
-from repro.harness.results import PerfPoint, PerformanceMatrix
-from repro.traces import workload_names, workload_trace
+from repro.harness.results import PerformanceMatrix
+from repro.harness.runner import (
+    KILLI_RATIOS,
+    LV_VOLTAGE,
+    CellSpec,
+    make_scheme,
+    run_cells,
+    scheme_names,
+)
+from repro.traces import workload_names
 from repro.utils.rng import RngFactory
 
 __all__ = [
@@ -39,48 +44,6 @@ __all__ = [
     "table7_olsc",
     "sec55_lower_vmin",
 ]
-
-#: Killi ECC-cache ratios the paper sweeps.
-KILLI_RATIOS = (256, 128, 64, 32, 16)
-
-#: Operating point of all performance experiments (Table 3).
-LV_VOLTAGE = 0.625
-
-
-def scheme_names(ratios: Iterable[int] = KILLI_RATIOS) -> List[str]:
-    """The Figure 4/5 scheme axis, baseline first."""
-    return ["baseline", "dected", "flair", "msecc"] + [
-        f"killi_1:{r}" for r in ratios
-    ]
-
-
-def make_scheme(
-    name: str,
-    gpu_config: GpuConfig,
-    fault_map: FaultMap,
-    voltage: float,
-    rngs: RngFactory,
-) -> ProtectionScheme:
-    """Build a protection scheme by its Figure 4/5 name."""
-    geometry = gpu_config.l2
-    if name == "baseline":
-        return UnprotectedScheme()
-    if name == "dected":
-        return DectedScheme(geometry, fault_map, voltage)
-    if name == "flair":
-        return FlairScheme(geometry, fault_map, voltage)
-    if name == "msecc":
-        return MsEccScheme(geometry, fault_map, voltage)
-    if name.startswith("killi_1:"):
-        ratio = int(name.split(":")[1])
-        return KilliScheme(
-            geometry,
-            fault_map,
-            voltage,
-            KilliConfig(ecc_ratio=ratio),
-            rng=rngs.stream(f"killi-mask/{ratio}"),
-        )
-    raise KeyError(f"unknown scheme {name!r}")
 
 
 # -- Figure 1 -------------------------------------------------------------------
@@ -133,47 +96,36 @@ def fig4_fig5_performance(
     accesses_per_cu: int = 30000,
     seed: int = 42,
     voltage: float = LV_VOLTAGE,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    progress=None,
 ) -> PerformanceMatrix:
     """Run the Figure 4/5 (workload x scheme) simulation matrix.
 
     One shared fault map (one chip), one trace per workload, one fresh
-    GPU per (workload, scheme) cell.
+    GPU per (workload, scheme) cell.  Cells go through the parallel
+    runner: ``jobs`` fans them out over processes, ``cache_dir``
+    enables the on-disk result cache, and both are bit-identical to
+    the serial uncached run.
     """
     workloads = list(workloads) if workloads is not None else workload_names()
     schemes = list(schemes) if schemes is not None else scheme_names()
     if "baseline" not in schemes:
         schemes = ["baseline"] + schemes
-    rngs = RngFactory(seed)
-    gpu_config = GpuConfig()
-    fault_map = FaultMap(
-        n_lines=gpu_config.l2.n_lines, rng=rngs.stream("fault-map")
-    )
-    matrix = PerformanceMatrix()
-    for workload in workloads:
-        trace = workload_trace(
-            workload, accesses_per_cu, n_cus=gpu_config.n_cus,
-            rng=rngs.stream(f"trace/{workload}"),
+    specs = [
+        CellSpec(
+            workload=workload,
+            scheme=scheme,
+            voltage=voltage,
+            seed=seed,
+            accesses_per_cu=accesses_per_cu,
         )
-        for scheme_name in schemes:
-            scheme = make_scheme(
-                scheme_name, gpu_config, fault_map, voltage,
-                rngs.child(f"{workload}/{scheme_name}"),
-            )
-            simulator = GpuSimulator(gpu_config, scheme)
-            result = simulator.run(trace)
-            matrix.add(
-                PerfPoint(
-                    workload=workload,
-                    scheme=scheme_name,
-                    cycles=result.cycles,
-                    instructions=result.instructions,
-                    l2_misses=result.l2_stats.misses,
-                    error_induced_misses=result.l2_stats.error_induced_misses,
-                    ecc_evict_invalidations=result.l2_stats.ecc_evict_invalidations,
-                    memory_reads=simulator.l2.memory_reads,
-                    memory_writes=simulator.l2.memory_writes,
-                )
-            )
+        for workload in workloads
+        for scheme in schemes
+    ]
+    matrix = PerformanceMatrix()
+    for cell in run_cells(specs, jobs=jobs, cache_dir=cache_dir, progress=progress):
+        matrix.add(cell.to_perf_point())
     return matrix
 
 
@@ -271,6 +223,8 @@ def sec55_lower_vmin(
     workload: str = "nekbone",
     accesses_per_cu: int = 8000,
     seed: int = 42,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> dict:
     """Section 5.5: Killi with OLSC vs MS-ECC below the SECDED Vmin.
 
@@ -278,46 +232,33 @@ def sec55_lower_vmin(
     ~92% of lines have 2+ faults — while Killi with an OLSC-t11 ECC
     cache (1:8) retains MS-ECC-class capacity at a fraction of the
     area.  Returns per-scheme normalized time, MPKI and disabled
-    capacity.
+    capacity.  The four scheme cells go through the parallel runner.
     """
-    from repro.core.strong import KilliStrongScheme
-
-    rngs = RngFactory(seed)
-    gpu_config = GpuConfig()
-    fault_map = FaultMap(n_lines=gpu_config.l2.n_lines, rng=rngs.stream("fault-map"))
-    trace = workload_trace(
-        workload, accesses_per_cu, n_cus=gpu_config.n_cus,
-        rng=rngs.stream(f"trace/{workload}"),
-    )
-
-    def run(scheme, name):
-        result = GpuSimulator(gpu_config, scheme).run(trace)
-        disabled = 0.0
-        if hasattr(scheme, "disabled_fraction"):
-            disabled = scheme.disabled_fraction()
-        return {
-            "cycles": result.cycles,
-            "mpki": result.l2_mpki,
-            "disabled_fraction": disabled,
-        }
+    key_to_scheme = {
+        "baseline": "baseline",
+        "msecc": "msecc",
+        "killi_secded_1:8": "killi_1:8",
+        "killi_olsc_1:8": "killi+olsc-t11_1:8",
+    }
+    specs = [
+        CellSpec(
+            workload=workload,
+            scheme=scheme,
+            voltage=voltage,
+            seed=seed,
+            accesses_per_cu=accesses_per_cu,
+        )
+        for scheme in key_to_scheme.values()
+    ]
+    cells = run_cells(specs, jobs=jobs, cache_dir=cache_dir)
 
     out = {"voltage": voltage, "workload": workload}
-    out["baseline"] = run(UnprotectedScheme(), "baseline")
-    out["msecc"] = run(MsEccScheme(gpu_config.l2, fault_map, voltage), "msecc")
-    out["killi_secded_1:8"] = run(
-        KilliScheme(
-            gpu_config.l2, fault_map, voltage, KilliConfig(ecc_ratio=8),
-            rng=rngs.stream("mask-secded"),
-        ),
-        "killi-secded",
-    )
-    out["killi_olsc_1:8"] = run(
-        KilliStrongScheme(
-            gpu_config.l2, fault_map, voltage, KilliConfig(ecc_ratio=8),
-            rng=rngs.stream("mask-olsc"), code="olsc-t11",
-        ),
-        "killi-olsc",
-    )
+    for key, cell in zip(key_to_scheme, cells):
+        out[key] = {
+            "cycles": cell.cycles,
+            "mpki": cell.l2_mpki,
+            "disabled_fraction": cell.disabled_fraction,
+        }
     base = out["baseline"]["cycles"]
     for key in ("msecc", "killi_secded_1:8", "killi_olsc_1:8"):
         out[key]["normalized_time"] = out[key]["cycles"] / base

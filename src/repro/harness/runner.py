@@ -1,0 +1,441 @@
+"""Parallel experiment execution engine.
+
+Every simulation experiment in the harness is a set of independent
+*cells*: one (workload, scheme, voltage, seed) simulation each.  This
+module runs such sets — serially or fanned out over a process pool —
+with three guarantees:
+
+- **Determinism.**  Each cell derives everything it needs (fault map,
+  trace, scheme RNG) from its own :class:`~repro.utils.rng.RngFactory`
+  streams, which are pure functions of ``(seed, name)``.  A cell's
+  result is therefore independent of which process runs it, in what
+  order, and alongside which other cells: ``jobs=N`` is bit-identical
+  to ``jobs=1``.
+- **Ordered collection.**  ``run_cells`` returns results in input
+  order regardless of completion order, with per-cell wall-clock
+  timing and an optional progress callback.
+- **Free re-runs.**  With ``cache_dir`` set, each finished cell is
+  written to disk keyed by a fingerprint of its spec; re-running an
+  unchanged cell loads the stored result instead of simulating.
+
+Expensive deterministic inputs (fault maps, traces) are additionally
+memoised per process, so cells sharing a (seed, workload) do not
+rebuild them — and, on fork-based platforms, worker processes inherit
+the parent's warm memo for free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field
+from functools import lru_cache
+from typing import Callable, Iterable, List, Optional
+
+from repro.baselines import DectedScheme, FlairScheme, MsEccScheme
+from repro.cache.protection import ProtectionScheme, UnprotectedScheme
+from repro.cache.wbcache import WriteBackCache
+from repro.core import KilliConfig, KilliScheme, KilliWriteBackScheme
+from repro.faults import FaultMap
+from repro.gpu import GpuConfig, GpuSimulator
+from repro.harness.results import PerfPoint
+from repro.traces import workload_trace
+from repro.utils.rng import RngFactory
+
+__all__ = [
+    "CellSpec",
+    "CellResult",
+    "make_scheme",
+    "scheme_names",
+    "run_cell",
+    "run_cells",
+]
+
+#: Bump when CellResult's serialised shape changes: invalidates every
+#: on-disk cache entry written by an older layout.
+SCHEMA_VERSION = 1
+
+#: Killi ECC-cache ratios the paper sweeps.
+KILLI_RATIOS = (256, 128, 64, 32, 16)
+
+#: Operating point of all fixed-voltage performance experiments (Table 3).
+LV_VOLTAGE = 0.625
+
+
+def scheme_names(ratios: Iterable[int] = KILLI_RATIOS) -> List[str]:
+    """The Figure 4/5 scheme axis, baseline first."""
+    return ["baseline", "dected", "flair", "msecc"] + [
+        f"killi_1:{r}" for r in ratios
+    ]
+
+
+def make_scheme(
+    name: str,
+    gpu_config: GpuConfig,
+    fault_map: FaultMap,
+    voltage: float,
+    rngs: RngFactory,
+    scheme_config: Optional[dict] = None,
+    write_back: bool = False,
+) -> ProtectionScheme:
+    """Build a protection scheme by its experiment-axis name.
+
+    Recognised names: ``baseline``, ``dected``, ``flair``, ``msecc``,
+    ``killi_1:<ratio>`` (SECDED ECC cache) and
+    ``killi+<code>_1:<ratio>`` (strong ECC-cache code, e.g.
+    ``killi+olsc-t11_1:8`` for Section 5.5).
+
+    ``scheme_config`` overrides :class:`~repro.core.KilliConfig`
+    fields (ablation switches); ``write_back`` swaps in the
+    write-back Killi variant.  Both only apply to Killi schemes.
+    """
+    geometry = gpu_config.l2
+    if not name.startswith("killi"):
+        if scheme_config or write_back:
+            raise ValueError(
+                f"scheme_config/write_back only apply to Killi schemes, got {name!r}"
+            )
+        if name == "baseline":
+            return UnprotectedScheme()
+        if name == "dected":
+            return DectedScheme(geometry, fault_map, voltage)
+        if name == "flair":
+            return FlairScheme(geometry, fault_map, voltage)
+        if name == "msecc":
+            return MsEccScheme(geometry, fault_map, voltage)
+        raise KeyError(f"unknown scheme {name!r}")
+
+    code = None
+    if name.startswith("killi+"):
+        head, _, tail = name.partition("_1:")
+        if not tail:
+            raise KeyError(f"unknown scheme {name!r}")
+        code = head[len("killi+"):]
+        ratio = int(tail)
+    elif name.startswith("killi_1:"):
+        ratio = int(name.split(":")[1])
+    else:
+        raise KeyError(f"unknown scheme {name!r}")
+
+    config = KilliConfig(ecc_ratio=ratio, **(scheme_config or {}))
+    rng = rngs.stream(f"killi-mask/{ratio}")
+    if write_back:
+        if code is not None:
+            raise ValueError("write-back strong-code Killi is not modelled")
+        return KilliWriteBackScheme(geometry, fault_map, voltage, config, rng=rng)
+    if code is not None:
+        from repro.core.strong import KilliStrongScheme
+
+        return KilliStrongScheme(
+            geometry, fault_map, voltage, config, rng=rng, code=code
+        )
+    return KilliScheme(geometry, fault_map, voltage, config, rng=rng)
+
+
+# -- memoised deterministic inputs -------------------------------------------
+
+
+@lru_cache(maxsize=4)
+def fault_map_for(n_lines: int, seed: int) -> FaultMap:
+    """The (deterministic) chip fault map for an experiment seed.
+
+    Derived from the seed's ``"fault-map"`` stream — the same map the
+    serial runners always built — and memoised because every cell of a
+    campaign shares it.  FaultMap is read-only after construction.
+    """
+    return FaultMap(n_lines=n_lines, rng=RngFactory(seed).stream("fault-map"))
+
+
+@lru_cache(maxsize=32)
+def trace_for(workload: str, accesses_per_cu: int, n_cus: int, seed: int):
+    """The (deterministic) kernel trace for a (workload, seed) pair.
+
+    Derived from the seed's ``"trace/<workload>"`` stream; memoised
+    because every scheme cell of a workload replays the same trace.
+    Traces are read-only (the engine copies them into flat arrays).
+    """
+    return workload_trace(
+        workload,
+        accesses_per_cu,
+        n_cus=n_cus,
+        rng=RngFactory(seed).stream(f"trace/{workload}"),
+    )
+
+
+# -- cell specification and result -------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One independent experiment cell.
+
+    The tuple (workload, scheme, voltage, seed, accesses_per_cu,
+    scheme_config, write_back) fully determines the simulation via
+    named RNG streams; ``engine`` picks the inner loop but never the
+    numbers (the engines are pinned bit-equivalent), so it is excluded
+    from the cache fingerprint.
+    """
+
+    workload: str
+    scheme: str
+    voltage: float = LV_VOLTAGE
+    seed: int = 42
+    accesses_per_cu: int = 30000
+    scheme_config: tuple = ()
+    """KilliConfig overrides as sorted (field, value) pairs; pass a
+    plain dict — it is normalised on construction."""
+    write_back: bool = False
+    engine: str = "vectorized"
+
+    def __post_init__(self):
+        if isinstance(self.scheme_config, dict):
+            object.__setattr__(
+                self, "scheme_config", tuple(sorted(self.scheme_config.items()))
+            )
+        else:
+            object.__setattr__(self, "scheme_config", tuple(self.scheme_config))
+
+    @property
+    def scheme_overrides(self) -> dict:
+        return dict(self.scheme_config)
+
+    def fingerprint(self) -> str:
+        """Stable content key for the on-disk result cache."""
+        payload = asdict(self)
+        del payload["engine"]  # engines are bit-equivalent
+        payload["schema"] = SCHEMA_VERSION
+        blob = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CellResult:
+    """Metrics of one finished cell (plain data; JSON-serialisable)."""
+
+    workload: str
+    scheme: str
+    voltage: float
+    seed: int
+    cycles: int
+    instructions: int
+    l2: dict
+    """Full L2 counter dict (``CacheStats.as_dict()``)."""
+    memory_reads: int
+    memory_writes: int
+    disabled_fraction: float = 0.0
+    sdc_events: int = 0
+    dfh: Optional[dict] = None
+    """DFH-state histogram (Killi schemes only)."""
+    dfh_lines: int = 0
+    elapsed_s: float = 0.0
+    from_cache: bool = False
+    fingerprint: str = ""
+
+    @property
+    def l2_misses(self) -> int:
+        return self.l2["read_misses"] + self.l2["write_misses"]
+
+    @property
+    def l2_mpki(self) -> float:
+        if self.instructions <= 0:
+            return 0.0
+        return 1000.0 * self.l2_misses / self.instructions
+
+    def to_perf_point(self) -> PerfPoint:
+        """Project onto the Figure 4/5 matrix cell type."""
+        return PerfPoint(
+            workload=self.workload,
+            scheme=self.scheme,
+            cycles=self.cycles,
+            instructions=self.instructions,
+            l2_misses=self.l2_misses,
+            error_induced_misses=self.l2.get("error_induced_misses", 0),
+            ecc_evict_invalidations=self.l2.get("ecc_evict_invalidations", 0),
+            memory_reads=self.memory_reads,
+            memory_writes=self.memory_writes,
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellResult":
+        return cls(**data)
+
+
+# -- cell execution -----------------------------------------------------------
+
+
+def run_cell(spec: CellSpec) -> CellResult:
+    """Execute one cell: fresh GPU, deterministic inputs, full metrics.
+
+    Pure function of ``spec``: reproduces exactly what the serial
+    Figure 4/5 loop computed for the same (workload, scheme, voltage,
+    seed) — same fault-map stream, same trace stream, same per-cell
+    scheme RNG namespace.
+    """
+    gpu_config = GpuConfig()
+    fault_map = fault_map_for(gpu_config.l2.n_lines, spec.seed)
+    trace = trace_for(
+        spec.workload, spec.accesses_per_cu, gpu_config.n_cus, spec.seed
+    )
+    rngs = RngFactory(spec.seed).child(f"{spec.workload}/{spec.scheme}")
+    scheme = make_scheme(
+        spec.scheme,
+        gpu_config,
+        fault_map,
+        spec.voltage,
+        rngs,
+        scheme_config=spec.scheme_overrides or None,
+        write_back=spec.write_back,
+    )
+    simulator = GpuSimulator(gpu_config, scheme, engine=spec.engine)
+    if spec.write_back:
+        simulator.l2 = WriteBackCache(gpu_config.l2, scheme, gpu_config.l2_latencies)
+
+    started = time.perf_counter()
+    result = simulator.run(trace)
+    elapsed = time.perf_counter() - started
+
+    dfh = scheme.dfh_histogram() if hasattr(scheme, "dfh_histogram") else None
+    return CellResult(
+        workload=spec.workload,
+        scheme=spec.scheme,
+        voltage=spec.voltage,
+        seed=spec.seed,
+        cycles=result.cycles,
+        instructions=result.instructions,
+        l2=result.l2_stats.as_dict(),
+        memory_reads=simulator.l2.memory_reads,
+        memory_writes=simulator.l2.memory_writes,
+        disabled_fraction=(
+            scheme.disabled_fraction()
+            if hasattr(scheme, "disabled_fraction")
+            else 0.0
+        ),
+        sdc_events=getattr(scheme, "sdc_events", 0),
+        dfh=dfh,
+        dfh_lines=len(scheme.dfh) if hasattr(scheme, "dfh") else 0,
+        elapsed_s=elapsed,
+        fingerprint=spec.fingerprint(),
+    )
+
+
+# -- on-disk result cache ------------------------------------------------------
+
+
+def _cache_path(cache_dir: str, spec: CellSpec) -> str:
+    return os.path.join(cache_dir, f"{spec.fingerprint()}.json")
+
+
+def _load_cached(cache_dir: str, spec: CellSpec) -> Optional[CellResult]:
+    """Load a cached result; None on miss or any corruption."""
+    path = _cache_path(cache_dir, spec)
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+        if payload.get("schema") != SCHEMA_VERSION:
+            return None
+        result = CellResult.from_dict(payload["result"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+    result.from_cache = True
+    return result
+
+
+def _store_cached(cache_dir: str, spec: CellSpec, result: CellResult) -> None:
+    """Atomically persist a result (rename tolerates parallel writers)."""
+    os.makedirs(cache_dir, exist_ok=True)
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "spec": asdict(spec),
+        "result": result.to_dict(),
+    }
+    fd, tmp_path = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, _cache_path(cache_dir, spec))
+    except OSError:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+
+
+# -- campaign execution --------------------------------------------------------
+
+ProgressFn = Callable[[int, int, CellResult], None]
+
+
+def run_cells(
+    specs: Iterable[CellSpec],
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[CellResult]:
+    """Run a set of cells, optionally in parallel and/or cached.
+
+    Parameters
+    ----------
+    specs:
+        Cells to run.  Results come back in the same order.
+    jobs:
+        Worker processes; ``1`` runs in-process (no pool).  Results
+        are bit-identical either way.
+    cache_dir:
+        Directory for the fingerprint-keyed result cache.  Finished
+        cells are stored there; unchanged cells are re-loaded for free
+        (``CellResult.from_cache`` marks them).
+    progress:
+        ``progress(done, total, result)`` called after every cell
+        (cached hits included), in completion order.
+    """
+    specs = list(specs)
+    total = len(specs)
+    results: List[Optional[CellResult]] = [None] * total
+    done = 0
+
+    pending: List[int] = []
+    for index, spec in enumerate(specs):
+        cached = _load_cached(cache_dir, spec) if cache_dir else None
+        if cached is not None:
+            results[index] = cached
+            done += 1
+            if progress:
+                progress(done, total, cached)
+        else:
+            pending.append(index)
+
+    if pending and jobs > 1 and len(pending) > 1:
+        # Warm the shared fault maps before forking so workers inherit
+        # them (copy-on-write) instead of each resampling the chip.
+        gpu_config = GpuConfig()
+        for seed in {specs[i].seed for i in pending}:
+            fault_map_for(gpu_config.l2.n_lines, seed)
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {pool.submit(run_cell, specs[i]): i for i in pending}
+            for future in as_completed(futures):
+                index = futures[future]
+                result = future.result()
+                results[index] = result
+                if cache_dir:
+                    _store_cached(cache_dir, specs[index], result)
+                done += 1
+                if progress:
+                    progress(done, total, result)
+    else:
+        for index in pending:
+            result = run_cell(specs[index])
+            results[index] = result
+            if cache_dir:
+                _store_cached(cache_dir, specs[index], result)
+            done += 1
+            if progress:
+                progress(done, total, result)
+
+    return results  # type: ignore[return-value]

@@ -4,19 +4,19 @@ Complements the fixed-0.625 Figure 4/5 matrix: runs one workload under
 Killi across a range of voltages, reporting the performance overhead,
 the disabled-capacity fraction, and the power saving at each point —
 the Vmin trade-off curve an adopter would actually consult.
+
+The per-voltage cells go through :mod:`repro.harness.runner`, so the
+sweep parallelises (``jobs``) and caches (``cache_dir``) like every
+other campaign.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional
 
 from repro.analysis.power import PowerModel
-from repro.cache.protection import UnprotectedScheme
-from repro.core import KilliConfig, KilliScheme
-from repro.faults import FaultMap
-from repro.gpu import GpuConfig, GpuSimulator
-from repro.traces import workload_trace
-from repro.utils.rng import RngFactory
+from repro.gpu import GpuConfig
+from repro.harness.runner import CellSpec, fault_map_for, run_cells
 
 __all__ = ["voltage_sweep"]
 
@@ -27,33 +27,54 @@ def voltage_sweep(
     ecc_ratio: int = 64,
     accesses_per_cu: int = 5000,
     seed: int = 42,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> Dict[float, Dict]:
     """Killi's overhead/capacity/power across operating voltages.
 
     Returns ``{voltage: {"normalized_time", "mpki", "disabled_fraction",
-    "power_pct"}}``.  Voltages below the fault-map floor are rejected.
+    "power_pct"}}``.  Voltages below the fault-map floor are rejected
+    with :class:`ValueError` before any simulation runs.
     """
-    rngs = RngFactory(seed)
+    voltages = list(voltages)
     gpu_config = GpuConfig()
-    fault_map = FaultMap(n_lines=gpu_config.l2.n_lines, rng=rngs.stream("fault-map"))
-    trace = workload_trace(
-        workload, accesses_per_cu, n_cus=gpu_config.n_cus,
-        rng=rngs.stream(f"trace/{workload}"),
-    )
-    baseline = GpuSimulator(gpu_config, UnprotectedScheme()).run(trace)
+    fault_map = fault_map_for(gpu_config.l2.n_lines, seed)
+    below = sorted(v for v in voltages if v < fault_map.floor_voltage)
+    if below:
+        raise ValueError(
+            f"voltages {below} are below the fault-map floor "
+            f"{fault_map.floor_voltage}"
+        )
+
+    scheme = f"killi_1:{ecc_ratio}"
+    specs = [
+        CellSpec(
+            workload=workload,
+            scheme="baseline",
+            voltage=fault_map.floor_voltage,
+            seed=seed,
+            accesses_per_cu=accesses_per_cu,
+        )
+    ] + [
+        CellSpec(
+            workload=workload,
+            scheme=scheme,
+            voltage=voltage,
+            seed=seed,
+            accesses_per_cu=accesses_per_cu,
+        )
+        for voltage in voltages
+    ]
+    cells = run_cells(specs, jobs=jobs, cache_dir=cache_dir)
+    baseline, killi_cells = cells[0], cells[1:]
     power_model = PowerModel()
 
     out: Dict[float, Dict] = {}
-    for voltage in voltages:
-        scheme = KilliScheme(
-            gpu_config.l2, fault_map, voltage, KilliConfig(ecc_ratio=ecc_ratio),
-            rng=rngs.stream(f"mask/{voltage}"),
-        )
-        result = GpuSimulator(gpu_config, scheme).run(trace)
+    for voltage, cell in zip(voltages, killi_cells):
         out[voltage] = {
-            "normalized_time": result.cycles / baseline.cycles,
-            "mpki": result.l2_mpki,
-            "disabled_fraction": scheme.disabled_fraction(),
+            "normalized_time": cell.cycles / baseline.cycles,
+            "mpki": cell.l2_mpki,
+            "disabled_fraction": cell.disabled_fraction,
             "power_pct": power_model.scheme_power(
                 "killi", voltage, ecc_ratio=ecc_ratio
             ),

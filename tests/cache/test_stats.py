@@ -1,0 +1,97 @@
+"""Tests for CacheStats: snapshots, deltas and the unified
+zero-denominator contract."""
+
+import pytest
+
+from repro.cache.stats import CacheStats, _COUNTER_FIELDS
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        stats = CacheStats(reads=10, read_hits=7, read_misses=3)
+        stats.bump("dfh_train", 2)
+        snap = stats.copy()
+
+        stats.reads += 5
+        stats.bump("dfh_train")
+        assert snap.reads == 10
+        assert snap.extra == {"dfh_train": 2}
+        assert snap.extra is not stats.extra
+
+    def test_copy_covers_every_counter(self):
+        stats = CacheStats(**{name: i + 1 for i, name in enumerate(_COUNTER_FIELDS)})
+        snap = stats.copy()
+        for name in _COUNTER_FIELDS:
+            assert getattr(snap, name) == getattr(stats, name)
+
+
+class TestDelta:
+    def test_counterwise_difference(self):
+        before = CacheStats(reads=10, writes=4, read_misses=2)
+        after = CacheStats(reads=25, writes=9, read_misses=6)
+        diff = after.delta(before)
+        assert diff.reads == 15
+        assert diff.writes == 5
+        assert diff.read_misses == 4
+        assert diff.evictions == 0
+
+    def test_extra_counters_diffed(self):
+        before = CacheStats()
+        before.bump("dfh_train", 3)
+        after = CacheStats()
+        after.bump("dfh_train", 8)
+        after.bump("dfh_demote", 1)
+        diff = after.delta(before)
+        assert diff.extra == {"dfh_train": 5, "dfh_demote": 1}
+
+    def test_delta_plus_earlier_roundtrips(self):
+        before = CacheStats(reads=3, fills=2)
+        after = CacheStats(reads=11, fills=2, evictions=4)
+        diff = after.delta(before)
+        for name in _COUNTER_FIELDS:
+            assert getattr(before, name) + getattr(diff, name) == getattr(
+                after, name
+            )
+
+
+class TestZeroDenominators:
+    """mpki, miss_rate and KernelResult.ipc all agree: an empty
+    denominator means "no work" and reads as 0.0, never an exception."""
+
+    def test_mpki_zero_instructions(self):
+        assert CacheStats(read_misses=5).mpki(0) == 0.0
+
+    def test_mpki_negative_instructions(self):
+        assert CacheStats(read_misses=5).mpki(-100) == 0.0
+
+    def test_mpki_normal(self):
+        assert CacheStats(read_misses=5).mpki(1000) == pytest.approx(5.0)
+
+    def test_miss_rate_no_reads(self):
+        assert CacheStats().miss_rate == 0.0
+
+    def test_ipc_no_cycles(self):
+        from repro.gpu.engine import KernelResult
+
+        result = KernelResult(
+            workload="empty", cycles=0, instructions=0,
+            l2_stats=CacheStats(),
+        )
+        assert result.ipc == 0.0
+
+
+class TestAsDict:
+    def test_includes_every_counter_and_derived_totals(self):
+        stats = CacheStats(reads=7, writes=3, read_hits=5, write_hits=3,
+                           read_misses=2)
+        out = stats.as_dict()
+        for name in _COUNTER_FIELDS:
+            assert name in out
+        assert out["accesses"] == 10
+        assert out["hits"] == 8
+        assert out["misses"] == 2
+
+    def test_extra_counters_included(self):
+        stats = CacheStats()
+        stats.bump("due_on_dirty", 4)
+        assert stats.as_dict()["due_on_dirty"] == 4

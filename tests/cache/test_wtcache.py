@@ -182,8 +182,10 @@ class TestStats:
         cache.read(0)
         cache.read(64)
         assert cache.stats.mpki(1000) == 2.0
-        with pytest.raises(ValueError):
-            cache.stats.mpki(0)
+        # Unified zero/negative-denominator contract: no work -> 0.0
+        # (same as miss_rate with no reads and ipc with no cycles).
+        assert cache.stats.mpki(0) == 0.0
+        assert cache.stats.mpki(-5) == 0.0
 
     def test_as_dict_includes_extra(self, cache):
         cache.stats.bump("custom", 3)

@@ -126,6 +126,67 @@ class TestEngine:
         result = GpuSimulator(config, UnprotectedScheme()).run(trace)
         assert 0 < result.ipc <= 1
 
+
+class TestMultiKernelIsolation:
+    """Regression tests for per-kernel stats snapshots.
+
+    run_kernels used to hand every KernelResult the *live* CacheStats
+    object, so finishing kernel N silently rewrote kernel 0's metrics.
+    """
+
+    def kernels(self):
+        # Kernel 0: all cold misses. Kernel 1: pure re-reads (L1 hits).
+        return [
+            make_trace(1, [[64 * i for i in range(50)]], gaps=[[19] * 50]),
+            make_trace(1, [[0] * 50], gaps=[[19] * 50]),
+        ]
+
+    def test_kernel0_metrics_survive_kernel1(self):
+        sim = GpuSimulator(small_config(1), UnprotectedScheme())
+        results = sim.run_kernels(self.kernels())
+        first = results[0]
+        mpki_before = first.l2_mpki
+        misses_before = first.l2_stats.misses
+
+        # Re-running the same kernels on a fresh simulator, kernel 0
+        # alone must report the same numbers it did above.
+        fresh = GpuSimulator(small_config(1), UnprotectedScheme())
+        alone = fresh.run(self.kernels()[0])
+        assert first.l2_mpki == pytest.approx(alone.l2_mpki)
+        assert first.l2_stats.misses == alone.l2_stats.misses
+        # And they were not mutated in place by kernel 1.
+        assert first.l2_mpki == pytest.approx(mpki_before)
+        assert first.l2_stats.misses == misses_before
+
+    def test_results_do_not_share_stats_objects(self):
+        sim = GpuSimulator(small_config(1), UnprotectedScheme())
+        first, second = sim.run_kernels(self.kernels())
+        assert first.l2_stats is not second.l2_stats
+        assert first.l1_stats[0] is not second.l1_stats[0]
+        assert first.l2_stats is not sim.l2.stats
+
+    def test_deltas_sum_to_cumulative(self):
+        sim = GpuSimulator(small_config(1), UnprotectedScheme())
+        first, second = sim.run_kernels(self.kernels())
+        for field in ("reads", "writes", "read_hits", "read_misses",
+                      "evictions"):
+            assert (
+                getattr(first.l2_stats, field)
+                + getattr(second.l2_stats, field)
+            ) == getattr(second.l2_stats_cumulative, field)
+        # The last kernel's cumulative view matches the live cache.
+        assert second.l2_stats_cumulative.as_dict() == sim.l2.stats.as_dict()
+
+    def test_single_run_delta_equals_cumulative(self):
+        # On a fresh simulator, one kernel's delta IS the cumulative —
+        # this is what keeps single-kernel numbers bit-identical to
+        # the pre-snapshot behaviour.
+        sim = GpuSimulator(small_config(1), UnprotectedScheme())
+        result = sim.run(self.kernels()[0])
+        assert result.l2_stats.as_dict() == result.l2_stats_cumulative.as_dict()
+
+
+class TestConfigDefaults:
     def test_table3_defaults(self):
         config = GpuConfig()
         assert config.n_cus == 8

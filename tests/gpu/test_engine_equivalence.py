@@ -1,0 +1,142 @@
+"""Scalar-vs-vectorized engine equivalence.
+
+The acceptance contract for the fast path: for every workload and
+scheme, both inner loops produce bit-identical cycles, per-CU cycles
+and every CacheStats counter (L2 and all L1s).  Pinned here on three
+workloads x two schemes, plus directed edge cases (ragged streams,
+bank conflicts, empty traces).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.protection import UnprotectedScheme
+from repro.gpu.config import GpuConfig
+from repro.gpu.engine import GpuSimulator
+from repro.harness.runner import fault_map_for, make_scheme
+from repro.traces import workload_trace
+from repro.traces.base import CuStream, Trace
+from repro.utils.rng import RngFactory
+
+WORKLOADS = ("fft", "xsbench", "nekbone")
+SCHEMES = ("baseline", "killi_1:64")
+
+
+def run_with(engine: str, workload: str, scheme_name: str, seed: int = 21):
+    gpu_config = GpuConfig()
+    fault_map = fault_map_for(gpu_config.l2.n_lines, seed)
+    trace = workload_trace(
+        workload, 700, n_cus=gpu_config.n_cus,
+        rng=RngFactory(seed).stream(f"trace/{workload}"),
+    )
+    scheme = make_scheme(
+        scheme_name, gpu_config, fault_map, 0.625,
+        RngFactory(seed).child(f"{workload}/{scheme_name}"),
+    )
+    simulator = GpuSimulator(gpu_config, scheme, engine=engine)
+    result = simulator.run(trace)
+    return result, simulator
+
+
+def assert_identical(workload: str, scheme_name: str, **kwargs):
+    scalar, scalar_sim = run_with("scalar", workload, scheme_name, **kwargs)
+    vector, vector_sim = run_with("vectorized", workload, scheme_name, **kwargs)
+    assert scalar.cycles == vector.cycles
+    assert scalar.per_cu_cycles == vector.per_cu_cycles
+    assert scalar.instructions == vector.instructions
+    assert scalar.l2_stats.as_dict() == vector.l2_stats.as_dict()
+    for a, b in zip(scalar.l1_stats, vector.l1_stats):
+        assert a.as_dict() == b.as_dict()
+    assert scalar_sim.l2.memory_reads == vector_sim.l2.memory_reads
+    assert scalar_sim.l2.memory_writes == vector_sim.l2.memory_writes
+
+
+class TestWorkloadSchemeMatrix:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_bit_identical(self, workload, scheme):
+        assert_identical(workload, scheme)
+
+
+def make_trace(addrs_per_cu, stores=None, gaps=None) -> Trace:
+    streams = []
+    for cu, addrs in enumerate(addrs_per_cu):
+        n = len(addrs)
+        streams.append(CuStream(
+            addrs=np.array(addrs, dtype=np.int64),
+            is_store=np.array(stores[cu] if stores else [False] * n),
+            gaps=np.array(gaps[cu] if gaps else [0] * n, dtype=np.int64),
+        ))
+    return Trace("directed", streams)
+
+
+def small_config(**kwargs) -> GpuConfig:
+    return GpuConfig(
+        n_cus=3,
+        l2=CacheGeometry(size_bytes=64 * 1024, line_bytes=64,
+                         associativity=8, banks=4),
+        **kwargs,
+    )
+
+
+class TestDirectedEdgeCases:
+    def run_both(self, config, trace):
+        results = []
+        for engine in ("scalar", "vectorized"):
+            sim = GpuSimulator(config, UnprotectedScheme(), engine=engine)
+            r = sim.run(trace)
+            results.append((r.cycles, r.per_cu_cycles, r.l2_stats.as_dict()))
+        return results
+
+    def test_ragged_stream_lengths(self):
+        # CUs exhaust at different rounds; the tail interleave must match.
+        trace = make_trace(
+            [[64 * i for i in range(17)], [0], [64 * i for i in range(5)]],
+            gaps=[[1] * 17, [7], [3] * 5],
+        )
+        scalar, vector = self.run_both(small_config(), trace)
+        assert scalar == vector
+
+    def test_empty_streams(self):
+        trace = make_trace([[], [], []])
+        scalar, vector = self.run_both(small_config(), trace)
+        assert scalar == vector
+        assert scalar[0] == 0
+
+    def test_bank_conflicts(self):
+        # All CUs hammer the same bank every round: queueing delays on.
+        config = small_config(model_bank_conflicts=True)
+        stride = config.l2.n_sets * 64  # same set (hence bank) each time
+        trace = make_trace(
+            [[stride * i for i in range(12)] for _ in range(3)],
+        )
+        scalar, vector = self.run_both(config, trace)
+        assert scalar == vector
+
+    def test_stores_and_loads_mixed(self):
+        trace = make_trace(
+            [[0, 64, 0, 128], [64, 64, 192, 0], [0, 0, 0, 0]],
+            stores=[[True, False, False, True],
+                    [False, True, False, False],
+                    [True, True, False, False]],
+            gaps=[[2, 0, 5, 1], [0, 0, 0, 9], [1, 1, 1, 1]],
+        )
+        scalar, vector = self.run_both(small_config(), trace)
+        assert scalar == vector
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            GpuSimulator(small_config(), UnprotectedScheme(), engine="turbo")
+        sim = GpuSimulator(small_config(), UnprotectedScheme())
+        with pytest.raises(ValueError):
+            sim.run(make_trace([[], [], []]), engine="turbo")
+
+    def test_per_run_override(self):
+        sim = GpuSimulator(small_config(), UnprotectedScheme(),
+                           engine="vectorized")
+        trace = make_trace([[0, 64], [128], [192]])
+        result = sim.run(trace, engine="scalar")
+        assert result.cycles > 0

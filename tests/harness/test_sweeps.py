@@ -33,5 +33,15 @@ class TestVoltageSweep:
         assert sweep[0.625]["power_pct"] < sweep[0.65]["power_pct"] < sweep[0.7]["power_pct"]
 
     def test_below_floor_rejected(self):
-        with pytest.raises(ValueError):
-            voltage_sweep(voltages=(0.5,), workload="nekbone", accesses_per_cu=200)
+        # The check fires up-front, names the floor, and lists every
+        # offending voltage — not just the first.
+        with pytest.raises(ValueError, match=r"floor") as excinfo:
+            voltage_sweep(voltages=(0.7, 0.5, 0.55), workload="nekbone",
+                          accesses_per_cu=200)
+        assert "0.5" in str(excinfo.value)
+        assert "0.55" in str(excinfo.value)
+
+    def test_parallel_matches_serial(self):
+        kwargs = dict(voltages=(0.7, 0.625), workload="nekbone",
+                      accesses_per_cu=500)
+        assert voltage_sweep(jobs=2, **kwargs) == voltage_sweep(**kwargs)

@@ -42,6 +42,46 @@ class TestRngFactory:
         b = RngFactory(7).child("a").child("b").stream("x").integers(0, 100, 5)
         assert (a == b).all()
 
+    def test_golden_values(self):
+        # Pinned draws: the parallel runner's determinism contract
+        # rests on streams being pure functions of (seed, name), so a
+        # change here silently invalidates every cached result.
+        assert RngFactory(7).stream("x").integers(0, 1_000_000, 6).tolist() == [
+            813564, 186752, 153424, 571768, 662137, 853517,
+        ]
+        assert RngFactory(7).child("ns").stream("x").integers(
+            0, 1_000_000, 4
+        ).tolist() == [215507, 660641, 270246, 265977]
+
+    def test_cross_process_stability(self):
+        """A worker process derives the exact same stream draws.
+
+        This is what lets run_cells fan cells out to a process pool
+        without shipping RNG state: each worker rebuilds its streams
+        from (seed, name) alone.
+        """
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.utils.rng import RngFactory\n"
+            "draws = RngFactory(7).child('fft/killi_1:64')"
+            ".stream('killi-mask/64').integers(0, 1_000_000, 8)\n"
+            "print(','.join(map(str, draws.tolist())))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd=__file__.rsplit("/tests/", 1)[0],
+        )
+        remote = [int(v) for v in proc.stdout.strip().split(",")]
+        local = (
+            RngFactory(7).child("fft/killi_1:64")
+            .stream("killi-mask/64").integers(0, 1_000_000, 8).tolist()
+        )
+        assert remote == local
+
 
 class TestUnits:
     def test_bits_to_kib(self):
