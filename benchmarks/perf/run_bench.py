@@ -1,0 +1,247 @@
+#!/usr/bin/env python
+"""Microbenchmark harness for the batched classification kernels.
+
+Times the hot paths that PR 2 vectorized, each against the scalar
+reference implementation that stays in the tree:
+
+- ``sampler``   — Monte-Carlo coverage sampler throughput
+  (:meth:`CoverageSampler.estimate` vs ``estimate_scalar``);
+- ``linestate`` — per-access line-signal latency (packed
+  ``LineSignalKernel.signals_row`` and the memoized
+  ``LineErrorModel.signals`` vs scalar ``signals_for_positions``);
+- ``fig6``      — Figure 6 coverage sweep end-to-end wall clock;
+- ``fig4``      — a small Figure 4 simulation slice end-to-end.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --quick
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --full --output BENCH_PR2.json
+
+``--fail-if-slower`` exits non-zero when any vectorized path is slower
+than its scalar reference — the CI perf-smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.montecarlo import CoverageSampler
+from repro.core.linestate import LineErrorModel
+from repro.faults.cell_model import CellFaultModel
+from repro.faults.fault_map import FaultMap
+from repro.harness.experiments import fig4_fig5_performance, fig6_coverage
+
+_QUICK = {
+    "sampler_samples": 5_000,
+    "linestate_accesses": 2_000,
+    "fig6": False,
+    "fig4_accesses": 0,
+}
+_FULL = {
+    "sampler_samples": 100_000,
+    "linestate_accesses": 20_000,
+    "fig6": True,
+    "fig4_accesses": 2_000,
+}
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def bench_sampler(samples: int) -> dict:
+    """Coverage-sampler throughput, scalar vs vectorized, same seed."""
+    sampler = CoverageSampler()
+    # Scalar reference is ~60x slower per pattern; cap its sample count
+    # so the harness stays snappy, then compare per-pattern rates.
+    scalar_samples = min(samples, 20_000)
+    scalar_s, scalar = _timed(
+        sampler.estimate_scalar, 0.6, scalar_samples, np.random.default_rng(7)
+    )
+    vector_s, vector = _timed(
+        sampler.estimate, 0.6, samples, np.random.default_rng(7)
+    )
+    replay_s, replay = _timed(
+        sampler.estimate,
+        0.6,
+        scalar_samples,
+        np.random.default_rng(7),
+        scalar_draws=True,
+    )
+    assert (replay.patterns, replay.misclassified) == (
+        scalar.patterns,
+        scalar.misclassified,
+    ), "compat mode diverged from the scalar reference"
+    scalar_rate = scalar.draws / scalar_s
+    vector_rate = vector.draws / vector_s
+    return {
+        "samples": samples,
+        "scalar_samples": scalar_samples,
+        "scalar_seconds": round(scalar_s, 4),
+        "vectorized_seconds": round(vector_s, 4),
+        "scalar_draws_per_sec": round(scalar_rate),
+        "vectorized_draws_per_sec": round(vector_rate),
+        "replay_seconds": round(replay_s, 4),
+        "replay_bit_identical": True,
+        "speedup": round(vector_rate / scalar_rate, 2),
+        "failure_rate": vector.failure_rate,
+    }
+
+
+def bench_linestate(accesses: int) -> dict:
+    """Per-access signal latency over a dense fault population."""
+    anchors = ((0.5, 0.2), (0.625, 3e-2), (1.0, 1e-9))
+    fault_map = FaultMap(
+        n_lines=512,
+        cell_model=CellFaultModel(anchors=anchors),
+        rng=np.random.default_rng(13),
+    )
+    model = LineErrorModel(fault_map, 0.625, np.random.default_rng(14))
+    lines = [line for line in range(512) if fault_map.has_faults(line)]
+    for line in lines:
+        model.on_fill(line, salt=line)
+    position_sets = [sorted(model.error_positions(line)) for line in lines]
+    packed_rows = [model._rows[line] for line in lines]
+
+    n = accesses
+
+    def run_scalar():
+        for i in range(n):
+            model.signals_for_positions(position_sets[i % len(lines)], 16, True)
+
+    def run_packed_row():
+        kernel = model.kernel
+        for i in range(n):
+            kernel.signals_row(packed_rows[i % len(lines)], 16, True)
+
+    def run_memoized():
+        for i in range(n):
+            model.signals(lines[i % len(lines)], 16, True)
+
+    scalar_s, _ = _timed(run_scalar)
+    packed_s, _ = _timed(run_packed_row)
+    model._signal_cache.clear()
+    memo_s, _ = _timed(run_memoized)
+    return {
+        "accesses": n,
+        "faulty_lines": len(lines),
+        "scalar_us_per_access": round(scalar_s / n * 1e6, 2),
+        "packed_row_us_per_access": round(packed_s / n * 1e6, 2),
+        "memoized_us_per_access": round(memo_s / n * 1e6, 2),
+        "speedup_packed": round(scalar_s / packed_s, 2),
+        "speedup_memoized": round(scalar_s / memo_s, 2),
+    }
+
+
+def bench_fig6() -> dict:
+    seconds, data = _timed(fig6_coverage)
+    return {
+        "seconds": round(seconds, 3),
+        "voltages": len(data["voltage"]),
+        "killi_min_pct": round(min(data["killi"]), 3),
+    }
+
+
+def bench_fig4(accesses: int) -> dict:
+    seconds, matrix = _timed(
+        fig4_fig5_performance,
+        workloads=["xsbench", "fft"],
+        schemes=["killi_1:8"],
+        accesses_per_cu=accesses,
+        seed=42,
+    )
+    return {
+        "seconds": round(seconds, 2),
+        "workloads": 2,
+        "schemes": 2,  # baseline is always added
+        "accesses_per_cu": accesses,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--quick", action="store_true", help="small sizes, skip end-to-end figures"
+    )
+    mode.add_argument(
+        "--full", action="store_true", help="full sizes incl. fig6 + fig4 slice"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, help="write results JSON here"
+    )
+    parser.add_argument(
+        "--fail-if-slower",
+        action="store_true",
+        help="exit 1 if any vectorized path is slower than its scalar reference",
+    )
+    args = parser.parse_args(argv)
+    sizes = _FULL if args.full else _QUICK
+
+    results = {
+        "mode": "full" if args.full else "quick",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "benchmarks": {},
+    }
+    print(f"perf bench ({results['mode']} mode)")
+
+    results["benchmarks"]["sampler"] = sampler = bench_sampler(
+        sizes["sampler_samples"]
+    )
+    print(
+        f"  sampler:   {sampler['vectorized_draws_per_sec']:>9,} draws/s vectorized "
+        f"vs {sampler['scalar_draws_per_sec']:>7,} scalar  "
+        f"({sampler['speedup']:.1f}x)"
+    )
+
+    results["benchmarks"]["linestate"] = linestate = bench_linestate(
+        sizes["linestate_accesses"]
+    )
+    print(
+        f"  linestate: {linestate['packed_row_us_per_access']:6.2f} us/access packed "
+        f"vs {linestate['scalar_us_per_access']:6.2f} scalar  "
+        f"({linestate['speedup_packed']:.1f}x, memoized "
+        f"{linestate['speedup_memoized']:.1f}x)"
+    )
+
+    if sizes["fig6"]:
+        results["benchmarks"]["fig6"] = fig6 = bench_fig6()
+        print(f"  fig6:      {fig6['seconds']:.3f}s end-to-end")
+    if sizes["fig4_accesses"]:
+        results["benchmarks"]["fig4_slice"] = fig4 = bench_fig4(
+            sizes["fig4_accesses"]
+        )
+        print(
+            f"  fig4:      {fig4['seconds']:.2f}s for "
+            f"{fig4['workloads']}x{fig4['schemes']} cells at "
+            f"{fig4['accesses_per_cu']} accesses/CU"
+        )
+
+    if args.output:
+        args.output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"  wrote {args.output}")
+
+    if args.fail_if_slower:
+        slower = []
+        if sampler["speedup"] < 1.0:
+            slower.append(f"sampler ({sampler['speedup']}x)")
+        if linestate["speedup_packed"] < 1.0:
+            slower.append(f"linestate ({linestate['speedup_packed']}x)")
+        if slower:
+            print(f"FAIL: vectorized slower than scalar: {', '.join(slower)}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

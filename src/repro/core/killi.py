@@ -115,7 +115,7 @@ class KilliScheme(ProtectionScheme):
             and self.config.inverted_write_training
             and self.errors.fault_map.has_faults(line_id)
         ):
-            return len(self.errors.observable_fault_positions(line_id)) == 0
+            return not self.errors.has_observable_faults(line_id)
         return True
 
     def _signals(self, line_id: int, dfh: Dfh):
@@ -123,10 +123,8 @@ class KilliScheme(ProtectionScheme):
             if self.config.inverted_write_training:
                 # Section 5.6.2: the original+inverted read pair
                 # observes every active fault, masked or not.
-                return self.errors.signals_for_positions(
-                    self.errors.observable_fault_positions(line_id),
-                    self.config.training_segments,
-                    use_ecc=True,
+                return self.errors.observable_signals(
+                    line_id, self.config.training_segments
                 )
             return self.errors.signals(
                 line_id, self.config.training_segments, use_ecc=True

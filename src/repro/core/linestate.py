@@ -17,6 +17,15 @@ fair coin ("masked fault" when the coin lands on equal).  So:
   deterministic — exactly the persistence property the paper exploits;
 - soft errors XOR extra positions into the vector.
 
+Error vectors are stored as **packed uint64 bitmask rows** in one
+preallocated ``(n_lines, words)`` matrix; deriving the signals for a
+read is then a handful of masked popcounts against the precomputed
+tables of :class:`repro.kernels.LineSignalKernel` (and, because the
+vector only changes on fills/writes/soft errors, repeated reads hit a
+per-line memo).  The scalar set-walking path survives as
+:meth:`LineErrorModel.signals_for_positions` — the pinned reference
+the equivalence tests compare the packed path against.
+
 This is exact with respect to the bit-accurate data path (see
 :mod:`repro.core.datapath`, cross-validated in the test suite) and
 keeps the per-access cost tiny: a fault-free line never touches any of
@@ -32,6 +41,8 @@ import numpy as np
 from repro.core.layout import LineLayout
 from repro.ecc.secded import SecDedCode
 from repro.faults.fault_map import FaultMap
+from repro.kernels.classify import LineSignalKernel
+from repro.utils.bitpack import n_words, pack_positions, popcount64, unpack_positions
 
 __all__ = ["Signals", "LineErrorModel"]
 
@@ -103,8 +114,19 @@ class LineErrorModel:
                 f"fault map covers {fault_map.line_bits} bits/line; layout "
                 f"needs {self.layout.total_bits}"
             )
-        self._effective: dict = {}
         self._secded = SecDedCode(self.layout.data_bits)
+        self.kernel = LineSignalKernel(
+            self.layout, self._secded, interleaved=interleaved_parity
+        )
+        self._words = n_words(self.layout.total_bits)
+        # Packed effective error vectors, one row per physical line,
+        # plus the cached row weight (popcount) for the dirty check.
+        self._rows = np.zeros((fault_map.n_lines, self._words), dtype=np.uint64)
+        self._weights = np.zeros(fault_map.n_lines, dtype=np.uint16)
+        # Read signals are pure in the row: memoise per line until the
+        # next mutation (reads vastly outnumber writes).
+        # line_id -> {(n_segments, use_ecc) | (n_segments, "observable"): Signals}
+        self._signal_cache: dict = {}
         # LV offset of the boundary below which bits are always resident
         # in the (LV) main cache: data + the 4 stable parity bits.
         self._cache_resident_stop = self.layout.parity_offset + 4
@@ -113,7 +135,7 @@ class LineErrorModel:
 
     def is_dirty(self, line_id: int) -> bool:
         """Fast check: does the line have a non-empty error vector?"""
-        return line_id in self._effective
+        return self._weights[line_id] != 0
 
     #: Probability that a write-through update toggles the masking
     #: state of each individual fault (new data at that bit position).
@@ -124,6 +146,16 @@ class LineErrorModel:
         if not self.lv_faults_in_ecc_cache:
             positions = positions[positions < self._cache_resident_stop]
         return positions
+
+    def _active_mask(self, line_id: int) -> np.ndarray:
+        """Packed mask of the line's active faults (cached in the map)."""
+        if self.lv_faults_in_ecc_cache:
+            return self.fault_map.packed_line_faults(
+                line_id, self.voltage, self.layout.total_bits
+            )
+        return pack_positions(
+            self._active_positions(line_id), self.layout.total_bits
+        )
 
     @staticmethod
     def _masking_coins(line_id: int, salt: int, positions: np.ndarray) -> np.ndarray:
@@ -147,11 +179,16 @@ class LineErrorModel:
         x ^= x >> np.uint64(31)
         return ((x >> np.uint64(13)) & np.uint64(1)).astype(bool)
 
-    def _store(self, line_id: int, effective: set) -> None:
-        if effective:
-            self._effective[line_id] = effective
-        else:
-            self._effective.pop(line_id, None)
+    def _store_row(self, line_id: int, row: np.ndarray) -> None:
+        self._rows[line_id] = row
+        self._weights[line_id] = int(popcount64(row).sum())
+        self._signal_cache.pop(line_id, None)
+
+    def _clear_row(self, line_id: int) -> None:
+        if self._weights[line_id]:
+            self._rows[line_id] = 0
+        self._weights[line_id] = 0
+        self._signal_cache.pop(line_id, None)
 
     def on_fill(self, line_id: int, salt: int = 0) -> None:
         """New data (identified by ``salt``) installed into the line.
@@ -160,14 +197,16 @@ class LineErrorModel:
         accumulated soft errors are overwritten.
         """
         if not self.fault_map.has_faults(line_id):
-            self._effective.pop(line_id, None)
+            self._clear_row(line_id)
             return
         positions = self._active_positions(line_id)
         if len(positions) == 0:
-            self._effective.pop(line_id, None)
+            self._clear_row(line_id)
             return
         unmasked = positions[self._masking_coins(line_id, salt, positions)]
-        self._store(line_id, {int(p) for p in unmasked})
+        self._store_row(
+            line_id, pack_positions(unmasked, self.layout.total_bits)
+        )
 
     def on_write_hit(self, line_id: int) -> None:
         """Write-through update of resident data.
@@ -177,21 +216,14 @@ class LineErrorModel:
         faulty position); soft errors are overwritten.
         """
         if not self.fault_map.has_faults(line_id):
-            self._effective.pop(line_id, None)
+            self._clear_row(line_id)
             return
         positions = self._active_positions(line_id)
-        current = self._effective.get(line_id, set())
-        fault_set = {int(p) for p in positions}
-        effective = current & fault_set  # soft errors overwritten
+        row = self._rows[line_id] & self._active_mask(line_id)  # soft errors overwritten
         if len(positions):
             toggles = self.rng.random(len(positions)) < self.mask_flip_probability
-            for position in positions[toggles]:
-                position = int(position)
-                if position in effective:
-                    effective.discard(position)
-                else:
-                    effective.add(position)
-        self._store(line_id, set(effective))
+            row = row ^ pack_positions(positions[toggles], self.layout.total_bits)
+        self._store_row(line_id, row)
 
     def set_effective(self, line_id: int, offsets) -> None:
         """Directly install an effective error vector (testing hook).
@@ -203,37 +235,36 @@ class LineErrorModel:
         for offset in offsets:
             if not 0 <= offset < self.layout.total_bits:
                 raise IndexError(f"offset {offset} outside the line layout")
-        self._store(line_id, offsets)
+        self._store_row(
+            line_id, pack_positions(sorted(offsets), self.layout.total_bits)
+        )
 
     def add_soft_error(self, line_id: int, offsets) -> None:
         """XOR transient bit flips into the line's error vector."""
-        current = self._effective.get(line_id, set())
-        current = set(current)
+        row = self._rows[line_id].copy()
         for offset in offsets:
             offset = int(offset)
             if not 0 <= offset < self.layout.total_bits:
                 raise IndexError(f"offset {offset} outside the line layout")
-            if offset in current:
-                current.discard(offset)
-            else:
-                current.add(offset)
-        if current:
-            self._effective[line_id] = current
-        else:
-            self._effective.pop(line_id, None)
+            row[offset >> 6] ^= np.uint64(1) << np.uint64(offset & 63)
+        self._store_row(line_id, row)
 
     def clear(self, line_id: int) -> None:
         """Forget the line's error state (invalidation)."""
-        self._effective.pop(line_id, None)
+        self._clear_row(line_id)
 
     def clear_all(self) -> None:
-        self._effective.clear()
+        self._rows[:] = 0
+        self._weights[:] = 0
+        self._signal_cache.clear()
 
     # -- signal computation -------------------------------------------------
 
     def error_positions(self, line_id: int) -> frozenset:
         """The current effective error vector (LV offsets)."""
-        return frozenset(self._effective.get(line_id, ()))
+        if not self._weights[line_id]:
+            return frozenset()
+        return frozenset(unpack_positions(self._rows[line_id]).tolist())
 
     def signals(self, line_id: int, n_segments: int, use_ecc: bool) -> Signals:
         """Controller-visible signals for a read of ``line_id``.
@@ -242,10 +273,31 @@ class LineErrorModel:
         during training, 4 afterwards); ``use_ecc`` is False for DFH
         b'00 lines whose ECC-cache entry has been freed.
         """
-        effective = self._effective.get(line_id)
-        if not effective:
+        if not self._weights[line_id]:
             return _CLEAN
-        return self.signals_for_positions(effective, n_segments, use_ecc)
+        per_line = self._signal_cache.setdefault(line_id, {})
+        key = (n_segments, use_ecc)
+        cached = per_line.get(key)
+        if cached is not None:
+            return cached
+        signals = Signals(
+            *self.kernel.signals_row(self._rows[line_id], n_segments, use_ecc)
+        )
+        per_line[key] = signals
+        return signals
+
+    def has_observable_faults(self, line_id: int) -> bool:
+        """Would the inverted-write read pair observe any fault?
+
+        Cheap form of ``observable_fault_positions(line_id) != set()``:
+        true when the effective vector is non-empty or the line has
+        active (possibly masked) faults.
+        """
+        if self._weights[line_id]:
+            return True
+        if not self.fault_map.has_faults(line_id):
+            return False
+        return len(self._active_positions(line_id)) > 0
 
     def observable_fault_positions(self, line_id: int) -> set:
         """All positions the inverted-write flow observes.
@@ -254,15 +306,44 @@ class LineErrorModel:
         active fault (a stuck cell disagrees with exactly one
         polarity) in addition to whatever soft errors are present.
         """
-        positions = set(self._effective.get(line_id, ()))
+        positions = set(unpack_positions(self._rows[line_id]).tolist())
         active = self._active_positions(line_id)
         positions.update(int(p) for p in active)
         return positions
 
+    def observable_signals(self, line_id: int, n_segments: int) -> Signals:
+        """Signals of the inverted-write observation (packed fast path).
+
+        Equivalent to ``signals_for_positions(
+        observable_fault_positions(line_id), n_segments, use_ecc=True)``
+        but evaluated as packed-row popcounts: the observed vector is
+        the effective row OR-ed with the cached active-fault mask.
+        Memoised like :meth:`signals` (the active mask only changes
+        with the voltage, which resets the whole model).
+        """
+        per_line = self._signal_cache.setdefault(line_id, {})
+        key = (n_segments, "observable")
+        cached = per_line.get(key)
+        if cached is not None:
+            return cached
+        row = self._rows[line_id] | self._active_mask(line_id)
+        if not row.any():
+            signals = _CLEAN
+        else:
+            signals = Signals(*self.kernel.signals_row(row, n_segments, True))
+        per_line[key] = signals
+        return signals
+
     def signals_for_positions(
         self, effective, n_segments: int, use_ecc: bool
     ) -> Signals:
-        """Signals produced by an explicit error vector."""
+        """Signals produced by an explicit error vector.
+
+        This is the scalar reference implementation — it walks the
+        sparse offset set one position at a time.  The packed kernel
+        path (:meth:`signals`, :meth:`observable_signals`) is pinned
+        bit-identical to it by the equivalence tests.
+        """
         if not effective:
             return _CLEAN
         layout = self.layout
@@ -305,25 +386,22 @@ class LineErrorModel:
         issues CORRECT_AND_SEND on a heavier vector the result is a
         silent data corruption, which the harness counts.
         """
-        effective = self._effective.get(line_id)
-        if not effective:
+        if not self._weights[line_id]:
             return True
-        codeword_flips = [
-            offset
-            for offset in effective
-            if self.layout.is_data(offset)
-            or (use_ecc and self.layout.is_checkbit(offset))
-        ]
-        if len(codeword_flips) == 1:
+        row = self._rows[line_id]
+        kernel = self.kernel
+        mask = kernel.codeword_mask if use_ecc else kernel.data_mask
+        codeword_weight = int(popcount64(row & mask).sum())
+        if codeword_weight == 1:
             return True
         # Heavier vectors: sound only if no *data* bit is wrong after
         # the decoder's (mis)correction; conservatively require that
         # no data bits are flipped at all.
-        return all(not self.layout.is_data(offset) for offset in codeword_flips)
+        return int(popcount64(row & kernel.data_mask).sum()) == 0
 
     def has_data_errors(self, line_id: int) -> bool:
         """Ground truth: does the line currently return corrupt data bits?"""
-        effective = self._effective.get(line_id)
-        if not effective:
+        if not self._weights[line_id]:
             return False
-        return any(self.layout.is_data(offset) for offset in effective)
+        row = self._rows[line_id]
+        return bool(popcount64(row & self.kernel.data_mask).any())

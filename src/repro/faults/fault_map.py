@@ -35,6 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.faults.cell_model import CellFaultModel, FaultMechanism
+from repro.utils.bitpack import pack_positions
 
 __all__ = ["LineRegion", "FaultMap"]
 
@@ -102,6 +103,8 @@ class FaultMap:
         counts = rng.binomial(line_bits, self.p_floor, size=n_lines)
         # line -> (positions, thresholds, stuck values); only faulty lines.
         self._faults: dict = {}
+        # (line, voltage, n_bits) -> packed uint64 active-fault mask.
+        self._packed_cache: dict = {}
         for line in np.nonzero(counts)[0]:
             k = int(counts[line])
             positions = np.sort(rng.choice(line_bits, size=k, replace=False))
@@ -132,6 +135,7 @@ class FaultMap:
             rng=np.random.default_rng(0),
         )
         fault_map._faults = {}
+        fault_map._packed_cache = {}
         for line, entries in faults.items():
             entries = list(entries)
             if not entries:
@@ -175,6 +179,29 @@ class FaultMap:
         positions, thresholds, values = entry
         active = thresholds < self.p_cell(voltage)
         return positions[active], values[active]
+
+    def packed_line_faults(
+        self, line: int, voltage: float, n_bits: int | None = None
+    ) -> np.ndarray:
+        """Packed uint64 mask of the active faults in ``line`` at ``voltage``.
+
+        The mask covers offsets ``[0, n_bits)`` (``line_bits`` by
+        default; positions beyond ``n_bits`` are dropped).  Because the
+        active set is a pure function of (line, voltage), masks are
+        cached — the per-access packed-bit paths in
+        :mod:`repro.core.linestate` reuse them without re-packing.
+        """
+        if n_bits is None:
+            n_bits = self.line_bits
+        key = (line, voltage, n_bits)
+        cached = self._packed_cache.get(key)
+        if cached is not None:
+            return cached
+        positions, _ = self.line_faults(line, voltage)
+        mask = pack_positions(positions[positions < n_bits], n_bits)
+        mask.setflags(write=False)
+        self._packed_cache[key] = mask
+        return mask
 
     def fault_count(self, line: int, voltage: float, start: int = 0, stop: int | None = None) -> int:
         """Number of active faults in ``line`` within ``[start, stop)``."""

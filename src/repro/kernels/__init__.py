@@ -1,0 +1,12 @@
+"""Batched fault-pattern classification kernels.
+
+Packed-bit (uint64) implementations of the signal machinery that the
+scalar paths in :mod:`repro.core.linestate` and
+:mod:`repro.analysis.montecarlo` evaluate one pattern at a time:
+segmented-parity membership, SECDED syndromes and global parity, all
+as table lookups plus popcounts over whole error-pattern matrices.
+"""
+
+from repro.kernels.classify import LineSignalKernel, RowSignals
+
+__all__ = ["LineSignalKernel", "RowSignals"]

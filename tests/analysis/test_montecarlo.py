@@ -58,7 +58,9 @@ class TestAgreementWithClosedForm:
         estimate = sampler.estimate(0.6, samples=500, rng=np.random.default_rng(1))
         assert 0 <= estimate.failure_rate <= 1
         assert estimate.coverage == pytest.approx(1 - estimate.failure_rate)
-        assert estimate.samples <= 500
+        assert estimate.draws == 500
+        assert 0 < estimate.patterns <= estimate.draws
+        assert estimate.samples == estimate.patterns  # legacy alias
 
     def test_conditioned_counts_at_least_two(self, sampler):
         from repro.analysis.montecarlo import _sample_binomial_at_least_two
@@ -66,3 +68,66 @@ class TestAgreementWithClosedForm:
         rng = np.random.default_rng(0)
         counts = _sample_binomial_at_least_two(rng, 539, 1e-3, 1000)
         assert (counts >= 2).all()
+
+
+class TestVectorizedAgainstScalar:
+    """The batched sampler is pinned to the pre-refactor scalar loop."""
+
+    @pytest.mark.parametrize("voltage,seed", [(0.6, 7), (0.575, 9)])
+    def test_scalar_draws_bit_identical(self, sampler, voltage, seed):
+        scalar = sampler.estimate_scalar(
+            voltage, samples=2000, rng=np.random.default_rng(seed)
+        )
+        replay = sampler.estimate(
+            voltage,
+            samples=2000,
+            rng=np.random.default_rng(seed),
+            scalar_draws=True,
+        )
+        assert (replay.patterns, replay.misclassified, replay.draws) == (
+            scalar.patterns,
+            scalar.misclassified,
+            scalar.draws,
+        )
+
+    def test_scalar_draws_bit_identical_across_chunks(self, sampler):
+        # Chunking must not perturb the draw order.
+        replay = sampler.estimate(
+            0.6,
+            samples=2000,
+            rng=np.random.default_rng(7),
+            scalar_draws=True,
+            chunk=617,
+        )
+        scalar = sampler.estimate_scalar(
+            0.6, samples=2000, rng=np.random.default_rng(7)
+        )
+        assert replay.misclassified == scalar.misclassified
+        assert replay.patterns == scalar.patterns
+
+    def test_default_sampler_statistically_identical(self, sampler):
+        # The Floyd sampler draws the same conditional distribution, so
+        # failure rates agree within Monte-Carlo noise.
+        scalar = sampler.estimate_scalar(
+            0.6, samples=8000, rng=np.random.default_rng(3)
+        )
+        vectorized = sampler.estimate(
+            0.6, samples=8000, rng=np.random.default_rng(4)
+        )
+        assert vectorized.patterns > 0
+        assert 0.7 < vectorized.failure_rate / scalar.failure_rate < 1.4
+
+    def test_floyd_offsets_are_uniform_subsets(self, sampler):
+        # Every row of the Floyd sampler is a valid subset (distinct,
+        # in range), and single offsets are uniform over the line.
+        rng = np.random.default_rng(11)
+        counts = np.full(4000, 3)
+        offsets, valid = sampler._sample_offsets(rng, counts)
+        assert valid.all()
+        total = sampler.layout.total_bits
+        assert offsets.min() >= 0 and offsets.max() < total
+        for row in offsets[:200]:
+            assert len(set(row.tolist())) == 3
+        histogram = np.bincount(offsets.ravel(), minlength=total)
+        expected = offsets.size / total
+        assert histogram.max() < 4 * expected

@@ -268,6 +268,78 @@ class TestObservableFaults:
         assert 3 in model.observable_fault_positions(line)
 
 
+class TestPackedScalarEquivalence:
+    """The packed tracker is pinned to the scalar signals_for_positions."""
+
+    @pytest.mark.parametrize("n_segments,use_ecc", [(16, True), (4, True), (4, False)])
+    def test_signals_match_scalar_reference(self, model, n_segments, use_ecc):
+        for line in range(64):
+            model.on_fill(line, salt=line)
+            positions = sorted(model.error_positions(line))
+            want = model.signals_for_positions(positions, n_segments, use_ecc)
+            got = model.signals(line, n_segments, use_ecc)
+            assert (
+                got.sp_mismatches,
+                got.syndrome_zero,
+                got.global_parity_ok,
+                got.data_error_bits,
+            ) == (
+                want.sp_mismatches,
+                want.syndrome_zero,
+                want.global_parity_ok,
+                want.data_error_bits,
+            ), line
+
+    def test_observable_signals_match_scalar_reference(self, model):
+        for line in range(64):
+            model.on_fill(line, salt=3)
+            positions = sorted(model.observable_fault_positions(line))
+            want = model.signals_for_positions(positions, 16, True)
+            got = model.observable_signals(line, 16)
+            assert (got.sp_mismatches, got.syndrome_zero, got.global_parity_ok) == (
+                want.sp_mismatches,
+                want.syndrome_zero,
+                want.global_parity_ok,
+            ), line
+
+    def test_has_observable_faults_consistent(self, model):
+        for line in range(128):
+            model.on_fill(line, salt=1)
+            assert model.has_observable_faults(line) == bool(
+                model.observable_fault_positions(line)
+            )
+
+    def test_signal_cache_invalidated_on_mutation(self, model):
+        line = 0
+        model.set_effective(line, {100})
+        assert model.signals(line, 16, True).data_error_bits == 1
+        model.add_soft_error(line, [101])
+        assert model.signals(line, 16, True).data_error_bits == 2
+        model.set_effective(line, {512})
+        signals = model.signals(line, 16, True)
+        assert signals.data_error_bits == 0
+        assert signals.sp_mismatches == 1
+        model.clear(line)
+        assert model.signals(line, 16, True).sp_mismatches == 0
+
+    def test_signal_cache_keyed_per_configuration(self, model):
+        # Positions 0 and 4 alias mod 4 but not mod 16; both configs
+        # must be served correctly from the same line's cache.
+        model.set_effective(0, {0, 4})
+        assert model.signals(0, 16, True).sp_mismatches == 2
+        assert model.signals(0, 4, True).sp_mismatches == 0
+        assert model.signals(0, 16, True).sp_mismatches == 2
+
+    def test_error_positions_roundtrip_packed(self, model, dense_map):
+        line = max(range(256), key=lambda l: dense_map.fault_count(l, 0.625))
+        faults = set(map(int, dense_map.line_faults(line, 0.625)[0]))
+        model.on_fill(line, salt=5)
+        positions = model.error_positions(line)
+        assert positions <= faults
+        model.set_effective(line, positions)
+        assert model.error_positions(line) == positions
+
+
 class TestValidation:
     def test_narrow_fault_map_rejected(self, rngs):
         narrow = FaultMap(n_lines=8, line_bits=100, rng=rngs.stream("n"))
