@@ -9,16 +9,21 @@ reference implementation that stays in the tree:
 - ``linestate`` — per-access line-signal latency (packed
   ``LineSignalKernel.signals_row`` and the memoized
   ``LineErrorModel.signals`` vs scalar ``signals_for_positions``);
+- ``hierarchy`` — per-access latency of the protected L2 on each tag
+  substrate (object reference vs struct-of-arrays fast path);
 - ``fig6``      — Figure 6 coverage sweep end-to-end wall clock;
-- ``fig4``      — a small Figure 4 simulation slice end-to-end.
+- ``fig4``      — a small Figure 4 simulation slice end-to-end, run
+  on both engines (vectorized and scalar) and checked bit-identical.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/run_bench.py --quick
-    PYTHONPATH=src python benchmarks/perf/run_bench.py --full --output BENCH_PR2.json
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --full --output BENCH_PR3.json
 
-``--fail-if-slower`` exits non-zero when any vectorized path is slower
-than its scalar reference — the CI perf-smoke gate.
+``--fail-if-slower`` exits non-zero when any fast path is slower than
+its reference, or when a benchmark regressed against the newest
+committed ``BENCH_PR*.json`` at the repo root — the CI perf-smoke
+gate.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import re
 import sys
 import time
 from pathlib import Path
@@ -33,20 +39,26 @@ from pathlib import Path
 import numpy as np
 
 from repro.analysis.montecarlo import CoverageSampler
+from repro.cache.wtcache import WriteThroughCache
 from repro.core.linestate import LineErrorModel
 from repro.faults.cell_model import CellFaultModel
 from repro.faults.fault_map import FaultMap
+from repro.gpu.config import GpuConfig
 from repro.harness.experiments import fig4_fig5_performance, fig6_coverage
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
 
 _QUICK = {
     "sampler_samples": 5_000,
     "linestate_accesses": 2_000,
+    "hierarchy_accesses": 20_000,
     "fig6": False,
     "fig4_accesses": 0,
 }
 _FULL = {
     "sampler_samples": 100_000,
     "linestate_accesses": 20_000,
+    "hierarchy_accesses": 200_000,
     "fig6": True,
     "fig4_accesses": 2_000,
 }
@@ -142,6 +154,46 @@ def bench_linestate(accesses: int) -> dict:
     }
 
 
+def bench_hierarchy(accesses: int) -> dict:
+    """Per-access latency of the protected L2 on each tag substrate.
+
+    Replays one deterministic read/write stream (80% loads, working
+    set ~4x the cache) through two caches that differ only in their
+    ``substrate``, and cross-checks that both ended with the same
+    counters — the bench doubles as an equivalence smoke test.
+    """
+    config = GpuConfig()
+    rng = np.random.default_rng(23)
+    n_lines = config.l2.n_sets * config.l2.associativity
+    addrs = (
+        rng.integers(0, 4 * n_lines, size=accesses) * config.l2.line_bytes
+    ).tolist()
+    stores = (rng.random(accesses) < 0.2).tolist()
+
+    def run(substrate: str):
+        cache = WriteThroughCache(
+            config.l2, latencies=config.l2_latencies, substrate=substrate
+        )
+        cycles = 0
+        start = time.perf_counter()
+        for addr, store in zip(addrs, stores):
+            cycles += cache.write(addr) if store else cache.read(addr)
+        return time.perf_counter() - start, cache, cycles
+
+    object_s, object_cache, object_cycles = run("object")
+    soa_s, soa_cache, soa_cycles = run("soa")
+    assert (soa_cycles, soa_cache.stats) == (object_cycles, object_cache.stats), (
+        "substrates diverged on the hierarchy stream"
+    )
+    return {
+        "accesses": accesses,
+        "object_ns_per_access": round(object_s / accesses * 1e9, 1),
+        "soa_ns_per_access": round(soa_s / accesses * 1e9, 1),
+        "speedup_soa": round(object_s / soa_s, 2),
+        "substrates_bit_identical": True,
+    }
+
+
 def bench_fig6() -> dict:
     seconds, data = _timed(fig6_coverage)
     return {
@@ -152,19 +204,81 @@ def bench_fig6() -> dict:
 
 
 def bench_fig4(accesses: int) -> dict:
-    seconds, matrix = _timed(
-        fig4_fig5_performance,
+    """End-to-end Figure 4 slice on both engines, checked bit-identical.
+
+    ``seconds`` is the vectorized engine (the headline number tracked
+    across BENCH files); the scalar reference rides along for the
+    speedup ratio.
+    """
+    kwargs = dict(
         workloads=["xsbench", "fft"],
         schemes=["killi_1:8"],
         accesses_per_cu=accesses,
         seed=42,
     )
+    vector_s, vector = _timed(fig4_fig5_performance, engine="vectorized", **kwargs)
+    scalar_s, scalar = _timed(fig4_fig5_performance, engine="scalar", **kwargs)
+    assert vector.points == scalar.points, "engines diverged on the fig4 slice"
     return {
-        "seconds": round(seconds, 2),
+        "seconds": round(vector_s, 2),
+        "scalar_seconds": round(scalar_s, 2),
+        "speedup_vectorized": round(scalar_s / vector_s, 2),
+        "engines_bit_identical": True,
         "workloads": 2,
         "schemes": 2,  # baseline is always added
         "accesses_per_cu": accesses,
     }
+
+
+_BASELINE_HEADLINE_KEYS = {
+    # Per benchmark: the fast-path timing fields compared against the
+    # newest committed BENCH file (lower is better).  Scalar-reference
+    # timings are deliberately excluded — a slow reference is not a
+    # regression.
+    "sampler": ("vectorized_seconds",),
+    "linestate": ("memoized_us_per_access",),
+    "hierarchy": ("soa_ns_per_access",),
+    "fig6": ("seconds",),
+    "fig4_slice": ("seconds",),
+}
+
+
+def newest_committed_bench(root: Path = REPO_ROOT) -> Path | None:
+    """The highest-numbered ``BENCH_PR<n>.json`` at the repo root."""
+    benches = {}
+    for path in root.glob("BENCH_PR*.json"):
+        match = re.fullmatch(r"BENCH_PR(\d+)\.json", path.name)
+        if match:
+            benches[int(match.group(1))] = path
+    return benches[max(benches)] if benches else None
+
+
+def compare_to_baseline(results: dict, baseline: dict, tolerance: float) -> list:
+    """Headline timings that regressed past ``tolerance`` x baseline."""
+    regressions = []
+    for name, keys in _BASELINE_HEADLINE_KEYS.items():
+        current = results["benchmarks"].get(name)
+        reference = baseline.get("benchmarks", {}).get(name)
+        if current is None or reference is None:
+            continue
+        sizes_match = all(
+            current[size_key] == reference[size_key]
+            for size_key in ("samples", "accesses", "accesses_per_cu")
+            if size_key in current and size_key in reference
+        )
+        if not sizes_match:
+            # Quick-mode runs use smaller sizes than the committed
+            # full-mode baseline; per-access timings don't transfer.
+            continue
+        for key in keys:
+            if key not in current or key not in reference:
+                continue
+            if current[key] > reference[key] * tolerance:
+                regressions.append(
+                    f"{name}.{key} {current[key]} > "
+                    f"{tolerance:g}x baseline {reference[key]}"
+                )
+    return regressions
 
 
 def main(argv=None) -> int:
@@ -182,7 +296,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--fail-if-slower",
         action="store_true",
-        help="exit 1 if any vectorized path is slower than its scalar reference",
+        help="exit 1 if any fast path is slower than its reference or "
+        "regressed vs the newest committed BENCH_PR*.json",
+    )
+    parser.add_argument(
+        "--slower-tolerance",
+        type=float,
+        default=1.25,
+        help="regression factor vs the committed baseline tolerated "
+        "before --fail-if-slower trips (absorbs runner timing noise)",
     )
     args = parser.parse_args(argv)
     sizes = _FULL if args.full else _QUICK
@@ -214,6 +336,15 @@ def main(argv=None) -> int:
         f"{linestate['speedup_memoized']:.1f}x)"
     )
 
+    results["benchmarks"]["hierarchy"] = hierarchy = bench_hierarchy(
+        sizes["hierarchy_accesses"]
+    )
+    print(
+        f"  hierarchy: {hierarchy['soa_ns_per_access']:6.1f} ns/access soa "
+        f"vs {hierarchy['object_ns_per_access']:6.1f} object  "
+        f"({hierarchy['speedup_soa']:.1f}x)"
+    )
+
     if sizes["fig6"]:
         results["benchmarks"]["fig6"] = fig6 = bench_fig6()
         print(f"  fig6:      {fig6['seconds']:.3f}s end-to-end")
@@ -222,7 +353,9 @@ def main(argv=None) -> int:
             sizes["fig4_accesses"]
         )
         print(
-            f"  fig4:      {fig4['seconds']:.2f}s for "
+            f"  fig4:      {fig4['seconds']:.2f}s vectorized "
+            f"(scalar {fig4['scalar_seconds']:.2f}s, "
+            f"{fig4['speedup_vectorized']:.1f}x) for "
             f"{fig4['workloads']}x{fig4['schemes']} cells at "
             f"{fig4['accesses_per_cu']} accesses/CU"
         )
@@ -237,9 +370,24 @@ def main(argv=None) -> int:
             slower.append(f"sampler ({sampler['speedup']}x)")
         if linestate["speedup_packed"] < 1.0:
             slower.append(f"linestate ({linestate['speedup_packed']}x)")
+        if hierarchy["speedup_soa"] < 1.0:
+            slower.append(f"hierarchy ({hierarchy['speedup_soa']}x)")
         if slower:
-            print(f"FAIL: vectorized slower than scalar: {', '.join(slower)}")
+            print(f"FAIL: fast path slower than reference: {', '.join(slower)}")
             return 1
+        baseline_path = newest_committed_bench()
+        if baseline_path is not None:
+            baseline = json.loads(baseline_path.read_text())
+            regressions = compare_to_baseline(
+                results, baseline, args.slower_tolerance
+            )
+            if regressions:
+                print(
+                    f"FAIL: regressed vs {baseline_path.name}: "
+                    + "; ".join(regressions)
+                )
+                return 1
+            print(f"  no regressions vs {baseline_path.name}")
     return 0
 
 

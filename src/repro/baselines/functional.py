@@ -66,7 +66,7 @@ class FunctionalSecDedLineScheme(OracleEccScheme):
 
     def on_fill(self, set_index: int, way: int) -> None:
         line_id = self.geometry.line_id(set_index, way)
-        tag = self.cache.tags.line(set_index, way).tag
+        tag = self.cache.tags.tag_at(set_index, way)
         self.errors.on_fill(line_id, salt=tag)
 
     def on_write_hit(self, set_index: int, way: int) -> None:

@@ -87,6 +87,16 @@ class OracleEccScheme(ProtectionScheme):
             return AccessOutcome.CORRECTED
         return AccessOutcome.CLEAN
 
+    def hit_replay_info(self, set_index: int, way: int):
+        # The fault population is static (that is what MBIST buys), so
+        # every hit replays identically — unless a subclass changed the
+        # hit path (e.g. the functional SECDED variant), in which case
+        # it must opt in on its own.
+        if type(self).on_read_hit is not OracleEccScheme.on_read_hit:
+            return None
+        line_id = self.geometry.line_id(set_index, way)
+        return (bool(self.fault_counts[line_id] > 0), 0, 0)
+
     def on_reset(self) -> None:
         # The cache just re-enabled every way; MBIST runs again for the
         # (unchanged) operating point and disables the same lines.

@@ -8,7 +8,9 @@ Provides the machinery every protection scheme plugs into:
 - :mod:`repro.cache.stats` — hit/miss/error accounting, MPKI.
 - :mod:`repro.cache.replacement` — per-set LRU state with the
   DFH-priority victim selection hook Killi's modified policy needs.
-- :mod:`repro.cache.setassoc` — the tag store.
+- :mod:`repro.cache.setassoc` — the tag store (object substrate).
+- :mod:`repro.cache.soa` — the struct-of-arrays tag/LRU substrate
+  (flat numpy arrays, bit-identical fast path).
 - :mod:`repro.cache.protection` — the scheme interface + outcomes.
 - :mod:`repro.cache.wtcache` — the write-through protected cache that
   drives a scheme (Killi or a baseline) on every access.
@@ -18,6 +20,13 @@ from repro.cache.geometry import CacheGeometry
 from repro.cache.protection import AccessOutcome, ProtectionScheme, UnprotectedScheme
 from repro.cache.replacement import LruState
 from repro.cache.setassoc import CacheLineState, SetAssocCache
+from repro.cache.soa import (
+    SUBSTRATES,
+    SoaLruState,
+    SoaTagStore,
+    default_substrate,
+    resolve_substrate,
+)
 from repro.cache.stats import CacheStats
 from repro.cache.wbcache import WriteBackCache
 from repro.cache.wtcache import CacheLatencies, WriteThroughCache
@@ -28,6 +37,11 @@ __all__ = [
     "LruState",
     "CacheLineState",
     "SetAssocCache",
+    "SUBSTRATES",
+    "SoaTagStore",
+    "SoaLruState",
+    "default_substrate",
+    "resolve_substrate",
     "AccessOutcome",
     "ProtectionScheme",
     "UnprotectedScheme",

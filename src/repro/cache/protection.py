@@ -12,7 +12,12 @@ from __future__ import annotations
 
 import enum
 
-__all__ = ["AccessOutcome", "ProtectionScheme", "UnprotectedScheme"]
+__all__ = [
+    "AccessOutcome",
+    "PURE_CLEAN_HIT",
+    "ProtectionScheme",
+    "UnprotectedScheme",
+]
 
 
 class AccessOutcome(enum.Enum):
@@ -34,12 +39,25 @@ class AccessOutcome(enum.Enum):
     access is converted into an error-induced cache miss."""
 
 
+#: Replay info for a hit that is CLEAN and has no stat side effects.
+PURE_CLEAN_HIT = (False, 0, 0)
+
+
 class ProtectionScheme:
     """Base scheme: no protection, nothing ever fails.
 
     Subclasses override the hooks they need.  ``attach`` is called once
     by the cache so schemes that manage shared structures (Killi's ECC
     cache) can invalidate lines back through the cache.
+
+    Epoch-cached hit path: a scheme whose ``on_read_hit`` is *pure* for
+    a given line (outcome and side effects fixed until a scheme event)
+    may return a replay tuple from :meth:`hit_replay_info`; the cache
+    memoizes it and replays subsequent hits through
+    :meth:`apply_replay` without dispatching ``on_read_hit`` at all.
+    Any event that could change a memoized line's hit behaviour must
+    either be cache-visible (fill / invalidate / write hit, which clear
+    the per-line stamp) or bump the cache's global epoch.
     """
 
     def __init__(self):
@@ -80,10 +98,47 @@ class ProtectionScheme:
         """
         return 0
 
+    def fill_priorities(self, set_index: int, ways) -> list:
+        """``fill_priority`` for each way in ``ways`` (batched).
+
+        Schemes with cheap bulk access to their per-line state (Killi's
+        DFH array) override this to avoid a Python call per candidate.
+        """
+        return [self.fill_priority(set_index, way) for way in ways]
+
+    def fill_priority_is_uniform(self, set_index: int) -> bool:
+        """True if every way of ``set_index`` is *guaranteed* to carry
+        the same fill priority right now — the caller may then take the
+        first invalid candidate without ranking.  Conservative default:
+        False (rank every time); Killi overrides with a per-set counter
+        of lines that have left the (uniform-priority) initial state.
+        """
+        return False
+
     def is_line_usable(self, set_index: int, way: int) -> bool:
         """May (set, way) receive a fill?  (Disabled ways are already
         excluded by the tag store; schemes can exclude more.)"""
         return True
+
+    # -- epoch-cached hit path -------------------------------------------
+
+    def hit_replay_info(self, set_index: int, way: int):
+        """Replay tuple ``(corrected, hits_inc, sdc_inc)`` for a read
+        hit on (set, way), or None if the hit must go through
+        :meth:`on_read_hit`.
+
+        Only valid when the scheme guarantees the hit outcome and its
+        stat side effects stay fixed until a stamp-clearing cache event
+        or an epoch bump.  The base implementation covers schemes that
+        never fail — but only when ``on_read_hit`` is not overridden,
+        so unaware subclasses safely opt out.
+        """
+        if type(self).on_read_hit is not ProtectionScheme.on_read_hit:
+            return None
+        return PURE_CLEAN_HIT
+
+    def apply_replay(self, info) -> None:
+        """Apply the scheme-side stat effects of a memoized hit."""
 
     def on_reset(self) -> None:
         """Voltage change / reboot: clear learned state (DFH reset)."""

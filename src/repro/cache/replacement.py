@@ -45,6 +45,10 @@ class LruState:
         """Ways of a set, most-recently-used first (read-only view)."""
         return tuple(self._order[set_index])
 
+    def lru_way(self, set_index: int) -> int:
+        """The least-recently-used way of a set (O(1))."""
+        return self._order[set_index][-1]
+
     def lru_choice(self, set_index: int, eligible) -> int | None:
         """Least-recently-used way among ``eligible`` (a container of ways)."""
         for way in reversed(self._order[set_index]):

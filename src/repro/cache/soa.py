@@ -1,0 +1,362 @@
+"""Struct-of-arrays cache substrate.
+
+The object substrate (:mod:`repro.cache.setassoc` +
+:mod:`repro.cache.replacement`) keeps one ``CacheLineState`` dataclass
+per physical line behind per-set tag dicts and per-set recency lists.
+That is the pinned reference implementation; this module is the fast
+path: the same tag-store and LRU contracts on flat numpy arrays —
+
+- :class:`SoaTagStore` — valid/tag/disabled/dirty as ``(n_sets,
+  associativity)`` arrays plus a single line-number -> way dict for
+  O(1) lookups (one integer divide per access instead of a set/tag
+  split against a per-set dict);
+- :class:`SoaLruState` — integer-age LRU: every touch stamps a
+  per-set monotonically increasing clock, every demote stamps a
+  monotonically decreasing floor, so ages are always distinct and the
+  induced recency order is *exactly* the order the list-based
+  :class:`~repro.cache.replacement.LruState` maintains.
+
+Both substrates are interchangeable behind
+:class:`~repro.cache.wtcache.WriteThroughCache` and
+:class:`~repro.gpu.hierarchy.SimpleL1` (``substrate="object"`` /
+``"soa"``); the test suite pins them bit-identical across schemes,
+workloads and reset/disable semantics.  The default substrate is
+``soa`` and can be overridden with the ``REPRO_SUBSTRATE`` environment
+variable (the CI runs the tier-1 suite under both).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+
+__all__ = [
+    "SUBSTRATES",
+    "default_substrate",
+    "resolve_substrate",
+    "SoaLineView",
+    "SoaTagStore",
+    "SoaLruState",
+]
+
+#: Valid substrate names.
+SUBSTRATES = ("object", "soa")
+
+
+def default_substrate() -> str:
+    """The session default: ``REPRO_SUBSTRATE`` env var or ``"soa"``."""
+    value = os.environ.get("REPRO_SUBSTRATE", "soa")
+    if value not in SUBSTRATES:
+        raise ValueError(
+            f"REPRO_SUBSTRATE={value!r} is not one of {SUBSTRATES}"
+        )
+    return value
+
+
+def resolve_substrate(substrate: str | None) -> str:
+    """Validate an explicit substrate choice, or fall back to the default."""
+    if substrate is None:
+        return default_substrate()
+    if substrate not in SUBSTRATES:
+        raise ValueError(
+            f"unknown substrate {substrate!r}; expected one of {SUBSTRATES}"
+        )
+    return substrate
+
+
+class SoaLineView:
+    """Dataclass-compatible view of one (set, way) in a :class:`SoaTagStore`.
+
+    Quacks like :class:`~repro.cache.setassoc.CacheLineState` for
+    readers (``valid``/``tag``/``disabled``/``dirty``); the mutable
+    flags (``dirty``, ``disabled``) write through to the arrays and
+    keep the store's maintained counters in sync.  ``valid``/``tag``
+    are read-only — all code paths mutate those via the store API.
+    """
+
+    __slots__ = ("_store", "_set", "_way")
+
+    def __init__(self, store: "SoaTagStore", set_index: int, way: int):
+        self._store = store
+        self._set = set_index
+        self._way = way
+
+    @property
+    def valid(self) -> bool:
+        return bool(self._store.valid[self._set, self._way])
+
+    @property
+    def tag(self) -> int:
+        return int(self._store.tag[self._set, self._way])
+
+    @property
+    def disabled(self) -> bool:
+        return bool(self._store.disabled[self._set, self._way])
+
+    @disabled.setter
+    def disabled(self, value: bool) -> None:
+        store = self._store
+        was = bool(store.disabled[self._set, self._way])
+        if was != bool(value):
+            store.disabled[self._set, self._way] = bool(value)
+            delta = 1 if value else -1
+            store._n_disabled += delta
+            store.disabled_in_set[self._set] += delta
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self._store.dirty[self._set, self._way])
+
+    @dirty.setter
+    def dirty(self, value: bool) -> None:
+        self._store.dirty[self._set, self._way] = bool(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SoaLineView(set={self._set}, way={self._way}, "
+            f"valid={self.valid}, tag={self.tag}, "
+            f"disabled={self.disabled}, dirty={self.dirty})"
+        )
+
+
+class SoaTagStore:
+    """Tag store for a set-associative cache on flat numpy arrays.
+
+    API-compatible with :class:`~repro.cache.setassoc.SetAssocCache`
+    (lookup / insert / invalidate / disable / enable / enable_all /
+    line / ways_of_set / counters) plus the scalar accessors the
+    protected-cache hot path uses (``is_valid`` / ``is_dirty`` /
+    ``is_disabled`` / ``tag_at`` / ``set_dirty``).
+
+    The lookup index maps *line numbers* (``addr // line_bytes``) to
+    ways: globally unique because each line number belongs to exactly
+    one set, and cheaper per access than a per-set (tag -> way) dict
+    since it needs a single integer divide.
+    """
+
+    def __init__(self, geometry: CacheGeometry):
+        self.geometry = geometry
+        n_sets, assoc = geometry.n_sets, geometry.associativity
+        self.valid = np.zeros((n_sets, assoc), dtype=bool)
+        self.tag = np.full((n_sets, assoc), -1, dtype=np.int64)
+        self.disabled = np.zeros((n_sets, assoc), dtype=bool)
+        self.dirty = np.zeros((n_sets, assoc), dtype=bool)
+        self._index: dict = {}  # line number -> way
+        # Reverse map: resident line number per slot (-1 = invalid),
+        # flat list indexed by set * associativity + way.  The hot
+        # insert/invalidate/is_valid paths read this instead of doing
+        # numpy scalar loads from the arrays.
+        self._line_at = [-1] * (n_sets * assoc)
+        self._line_bytes = geometry.line_bytes
+        self._n_sets = n_sets
+        self._assoc = assoc
+        self._n_valid = 0
+        self._n_disabled = 0
+        # Per-set occupancy counters: the victim-selection fast paths
+        # (full set -> plain LRU; no disables -> all ways eligible)
+        # check these instead of scanning the ways.
+        self.valid_in_set = [0] * n_sets
+        self.disabled_in_set = [0] * n_sets
+
+    # -- hot-path API ------------------------------------------------------
+
+    def lookup(self, addr: int) -> int | None:
+        """Way holding ``addr``, or None on miss (disabled ways never hit)."""
+        return self._index.get(addr // self._line_bytes)
+
+    def insert(self, addr: int, way: int) -> None:
+        """Fill (set_of(addr), way) with ``addr``'s tag."""
+        line_no = addr // self._line_bytes
+        set_index = line_no % self._n_sets
+        slot = set_index * self._assoc + way
+        old = self._line_at[slot]
+        if old >= 0:
+            self._index.pop(old, None)
+        else:
+            # Valid lines are never disabled (disable invalidates), so
+            # the guard only needs to fire on the invalid branch.
+            if self.disabled_in_set[set_index] and self.disabled[set_index, way]:
+                raise ValueError("cannot fill a disabled line")
+            self._n_valid += 1
+            self.valid_in_set[set_index] += 1
+            self.valid[set_index, way] = True
+        self.dirty[set_index, way] = False
+        self.tag[set_index, way] = line_no // self._n_sets
+        self._line_at[slot] = line_no
+        self._index[line_no] = way
+
+    def invalidate(self, set_index: int, way: int) -> None:
+        """Drop the line's contents (tag state only)."""
+        slot = set_index * self._assoc + way
+        old = self._line_at[slot]
+        if old >= 0:
+            self._index.pop(old, None)
+            self._line_at[slot] = -1
+            self._n_valid -= 1
+            self.valid_in_set[set_index] -= 1
+            self.valid[set_index, way] = False
+            self.dirty[set_index, way] = False
+            self.tag[set_index, way] = -1
+
+    def disable(self, set_index: int, way: int) -> None:
+        """Permanently (until reset) disable a way."""
+        self.invalidate(set_index, way)
+        if not self.disabled[set_index, way]:
+            self.disabled[set_index, way] = True
+            self._n_disabled += 1
+            self.disabled_in_set[set_index] += 1
+
+    def enable(self, set_index: int, way: int) -> None:
+        """Clear one way's disable flag (scrubber reclaim)."""
+        if self.disabled[set_index, way]:
+            self.disabled[set_index, way] = False
+            self._n_disabled -= 1
+            self.disabled_in_set[set_index] -= 1
+
+    def enable_all(self) -> None:
+        """Clear every disable flag (models a voltage change / DFH reset)."""
+        self.disabled[:] = False
+        self._n_disabled = 0
+        self.disabled_in_set = [0] * self._n_sets
+
+    # -- scalar accessors (hot-path, no view allocation) -------------------
+
+    def is_valid(self, set_index: int, way: int) -> bool:
+        return self._line_at[set_index * self._assoc + way] >= 0
+
+    def is_disabled(self, set_index: int, way: int) -> bool:
+        return bool(self.disabled[set_index, way])
+
+    def is_dirty(self, set_index: int, way: int) -> bool:
+        return bool(self.dirty[set_index, way])
+
+    def set_dirty(self, set_index: int, way: int, value: bool = True) -> None:
+        self.dirty[set_index, way] = value
+
+    def tag_at(self, set_index: int, way: int) -> int:
+        # -1 // n_sets == -1 for any positive n_sets, so the invalid
+        # sentinel passes through unchanged.
+        return self._line_at[set_index * self._assoc + way] // self._n_sets
+
+    # -- victim-selection primitives ---------------------------------------
+
+    def enabled_ways(self, set_index: int) -> list:
+        """Non-disabled ways of a set, ascending."""
+        return np.flatnonzero(~self.disabled[set_index]).tolist()
+
+    def invalid_among(self, set_index: int, ways) -> list:
+        """The subset of ``ways`` that is invalid, in the given order."""
+        base = set_index * self._assoc
+        row = self._line_at[base : base + self._assoc]
+        return [way for way in ways if row[way] < 0]
+
+    def first_invalid(self, set_index: int) -> int | None:
+        """Lowest-index invalid way of a set, or None if all valid.
+
+        Equivalent to ``invalid_among(set_index, all_ways)[0]`` — the
+        victim the uniform-fill-priority fast path picks.
+        """
+        base = set_index * self._assoc
+        line_at = self._line_at
+        for way in range(self._assoc):
+            if line_at[base + way] < 0:
+                return way
+        return None
+
+    # -- structural views --------------------------------------------------
+
+    def line(self, set_index: int, way: int) -> SoaLineView:
+        """The tag-array state of (set, way)."""
+        return SoaLineView(self, set_index, way)
+
+    def ways_of_set(self, set_index: int):
+        """All line states of a set (list indexed by way)."""
+        return [
+            SoaLineView(self, set_index, way)
+            for way in range(self.geometry.associativity)
+        ]
+
+    # -- counters (maintained incrementally; scans assert in debug) --------
+
+    def count_disabled(self) -> int:
+        """Number of disabled lines cache-wide (O(1), counter-maintained)."""
+        if __debug__:
+            scanned = int(np.count_nonzero(self.disabled))
+            assert scanned == self._n_disabled, (
+                f"disabled counter {self._n_disabled} != scan {scanned}"
+            )
+            assert sum(self.disabled_in_set) == self._n_disabled
+        return self._n_disabled
+
+    def count_valid(self) -> int:
+        """Number of valid lines cache-wide (O(1), counter-maintained)."""
+        if __debug__:
+            scanned = int(np.count_nonzero(self.valid))
+            assert scanned == self._n_valid, (
+                f"valid counter {self._n_valid} != scan {scanned}"
+            )
+            assert sum(self.valid_in_set) == self._n_valid
+            assert sum(1 for line in self._line_at if line >= 0) == self._n_valid
+        return self._n_valid
+
+
+class SoaLruState:
+    """Integer-age LRU, order-equivalent to the list-based ``LruState``.
+
+    ``age[set, way]`` holds the last-touch stamp; per-set clocks only
+    grow and per-set floors only shrink, so ages within a set are
+    always pairwise distinct and "most recently used" is simply the
+    descending-age order.  ``touch`` == move-to-front, ``demote`` ==
+    move-to-back, and the initial ages ``0, -1, ..., -(w-1)`` replicate
+    the list substrate's initial order ``[0, 1, ..., w-1]``.
+    """
+
+    def __init__(self, n_sets: int, associativity: int):
+        if n_sets < 1 or associativity < 1:
+            raise ValueError("n_sets and associativity must be positive")
+        self.n_sets = n_sets
+        self.associativity = associativity
+        # Flat per-slot ages (set * associativity + way), plain list:
+        # touch / victim scans are scalar probes over one set's worth
+        # of entries, where lists beat numpy views.
+        self.age = list(range(0, -associativity, -1)) * n_sets
+        self._clock = [1] * n_sets
+        self._floor = [-associativity] * n_sets
+
+    def touch(self, set_index: int, way: int) -> None:
+        """Move ``way`` to the MRU position of its set."""
+        self.age[set_index * self.associativity + way] = self._clock[set_index]
+        self._clock[set_index] += 1
+
+    def demote(self, set_index: int, way: int) -> None:
+        """Move ``way`` to the LRU position (used after invalidation)."""
+        self.age[set_index * self.associativity + way] = self._floor[set_index]
+        self._floor[set_index] -= 1
+
+    def recency_order(self, set_index: int):
+        """Ways of a set, most-recently-used first (read-only view)."""
+        base = set_index * self.associativity
+        row = self.age[base : base + self.associativity]
+        return tuple(sorted(range(self.associativity), key=lambda w: -row[w]))
+
+    def lru_way(self, set_index: int) -> int:
+        """The least-recently-used way of a set (O(associativity))."""
+        base = set_index * self.associativity
+        row = self.age[base : base + self.associativity]
+        return row.index(min(row))
+
+    def lru_choice(self, set_index: int, eligible) -> int | None:
+        """Least-recently-used way among ``eligible`` (a container of ways)."""
+        base = set_index * self.associativity
+        row = self.age
+        best = None
+        best_age = None
+        for way in eligible:
+            a = row[base + way]
+            if best_age is None or a < best_age:
+                best_age = a
+                best = way
+        return best

@@ -28,13 +28,14 @@ class WriteBackCache(WriteThroughCache):
         self.stats.writes += 1
         lat = self.latencies
         set_index = self.geometry.set_of(addr)
-        way = self.tags.lookup(addr)
+        tags = self.tags
+        way = tags.lookup(addr)
         if way is not None:
             self.stats.write_hits += 1
+            self._hit_stamp[set_index * self._assoc + way] = -1
             self.scheme.on_write_hit(set_index, way)
-            line = self.tags.line(set_index, way)
-            if not line.dirty:
-                line.dirty = True
+            if not tags.is_dirty(set_index, way):
+                tags.set_dirty(set_index, way, True)
                 self.scheme.on_dirty(set_index, way)
             self.lru.touch(set_index, way)
             return lat.tag + lat.data
@@ -48,16 +49,22 @@ class WriteBackCache(WriteThroughCache):
             self.stats.bypasses += 1
             self.memory_writes += 1
             return lat.miss
+        self._hit_stamp[set_index * self._assoc + way] = -1
         self.scheme.on_write_hit(set_index, way)
-        self.tags.line(set_index, way).dirty = True
+        tags.set_dirty(set_index, way, True)
         self.scheme.on_dirty(set_index, way)
         return lat.miss
 
     def read(self, addr: int) -> int:
-        """Read access; uncorrectable errors on dirty lines are DUEs."""
+        """Read access; uncorrectable errors on dirty lines are DUEs.
+
+        Dirty-line hits never consult the epoch cache: a stamp cannot
+        be valid here (every path that dirties a line clears it, and
+        this path does not memoize), so the full dispatch always runs.
+        """
         set_index = self.geometry.set_of(addr)
         way = self.tags.lookup(addr)
-        if way is not None and self.tags.line(set_index, way).dirty:
+        if way is not None and self.tags.is_dirty(set_index, way):
             # Peek at the outcome path: a detected-uncorrectable error
             # here loses modified data.
             self.stats.reads += 1
@@ -73,6 +80,7 @@ class WriteBackCache(WriteThroughCache):
                 self.lru.touch(set_index, way)
                 return lat.hit + lat.correction
             # Data loss: the only copy was modified and is now gone.
+            self._hit_stamp[set_index * self._assoc + way] = -1
             self.stats.error_induced_misses += 1
             self.stats.bump("due_on_dirty")
             if outcome is AccessOutcome.DISABLE_MISS:

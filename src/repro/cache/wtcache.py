@@ -10,6 +10,16 @@ latency; ECC-cache accesses are hidden under the data access; a miss
 additionally pays the memory latency.  Error-induced misses (Table 2's
 "signal error-induced cache miss; trigger new load request") pay the
 hit latency for the failed attempt plus a full miss.
+
+The tag store and LRU state run on one of two substrates with the same
+contract: ``"object"`` (per-line ``CacheLineState`` + recency lists,
+the pinned reference) or ``"soa"`` (flat numpy arrays + integer-age
+LRU, the fast path).  Read hits additionally go through an epoch cache:
+once the scheme declares a line's hit behaviour stable
+(:meth:`~repro.cache.protection.ProtectionScheme.hit_replay_info`), the
+outcome is memoized per (set, way) and replayed without scheme
+dispatch until a cache-visible event clears the line's stamp or a
+scheme event bumps the global epoch.
 """
 
 from __future__ import annotations
@@ -20,6 +30,7 @@ from repro.cache.geometry import CacheGeometry
 from repro.cache.protection import AccessOutcome, ProtectionScheme
 from repro.cache.replacement import LruState
 from repro.cache.setassoc import SetAssocCache
+from repro.cache.soa import SoaLruState, SoaTagStore, resolve_substrate
 from repro.cache.stats import CacheStats
 
 __all__ = ["CacheLatencies", "WriteThroughCache"]
@@ -58,6 +69,9 @@ class WriteThroughCache:
         Protection scheme consulted on every access.
     latencies:
         Cycle costs per access type.
+    substrate:
+        ``"object"`` or ``"soa"`` tag/LRU backing (None = session
+        default, see :func:`repro.cache.soa.default_substrate`).
     """
 
     def __init__(
@@ -65,49 +79,113 @@ class WriteThroughCache:
         geometry: CacheGeometry,
         scheme: ProtectionScheme | None = None,
         latencies: CacheLatencies | None = None,
+        substrate: str | None = None,
     ):
         self.geometry = geometry
         self.scheme = scheme if scheme is not None else ProtectionScheme()
         self.latencies = latencies if latencies is not None else CacheLatencies()
-        self.tags = SetAssocCache(geometry)
-        self.lru = LruState(geometry.n_sets, geometry.associativity)
+        self.substrate = resolve_substrate(substrate)
+        if self.substrate == "soa":
+            self.tags = SoaTagStore(geometry)
+            self.lru = SoaLruState(geometry.n_sets, geometry.associativity)
+        else:
+            self.tags = SetAssocCache(geometry)
+            self.lru = LruState(geometry.n_sets, geometry.associativity)
         self.stats = CacheStats()
         self.memory_reads = 0
         self.memory_writes = 0
+        # Epoch-cached hit path: per-line stamp + replay tuple.  A
+        # stamp equal to the current epoch means the memoized info is
+        # valid; cache-visible per-line events reset the stamp to -1
+        # and scheme-side events (DFH transitions, resets) bump the
+        # epoch, invalidating every stamp at once.
+        self._assoc = geometry.associativity
+        self._n_sets = geometry.n_sets
+        self._line_bytes = geometry.line_bytes
+        # Flat cycle counts (the CacheLatencies properties re-derive
+        # their sums on every access otherwise).
+        self._lat_hit = self.latencies.hit
+        self._lat_hit_corrected = self.latencies.hit + self.latencies.correction
+        self._lat_miss = self.latencies.miss
+        self._lat_tag = self.latencies.tag
+        self.epoch = 0
+        n_lines = geometry.n_sets * geometry.associativity
+        self._hit_stamp = [-1] * n_lines
+        self._hit_info = [None] * n_lines
         self.scheme.attach(self)
         # Skip the per-way usability call unless the scheme overrides it.
         self._scheme_filters_ways = (
             type(self.scheme).is_line_usable is not ProtectionScheme.is_line_usable
         )
+        # Skip priority ranking of invalid candidates unless the scheme
+        # actually ranks (a default scheme returns all-zero priorities,
+        # under which "first max" is just the first candidate).
+        self._scheme_prioritizes = (
+            type(self.scheme).fill_priority is not ProtectionScheme.fill_priority
+            or type(self.scheme).fill_priorities
+            is not ProtectionScheme.fill_priorities
+        )
+        self._all_ways = list(range(geometry.associativity))
+        self._way_attempts = range(geometry.associativity)
+
+    def bump_epoch(self) -> None:
+        """Invalidate every memoized hit (scheme-side state changed)."""
+        self.epoch += 1
 
     # -- public access API ------------------------------------------------
 
     def read(self, addr: int) -> int:
         """Read access; returns the latency in cycles."""
         self.stats.reads += 1
-        lat = self.latencies
-        set_index = self.geometry.set_of(addr)
         way = self.tags.lookup(addr)
         if way is not None:
+            set_index = (addr // self._line_bytes) % self._n_sets
+            idx = set_index * self._assoc + way
+            if self._hit_stamp[idx] == self.epoch:
+                # Memoized steady-state hit: skip scheme dispatch.
+                info = self._hit_info[idx]
+                self.stats.read_hits += 1
+                self.lru.touch(set_index, way)
+                self.scheme.apply_replay(info)
+                if info[0]:
+                    self.stats.corrected_reads += 1
+                    return self._lat_hit_corrected
+                return self._lat_hit
             outcome = self.scheme.on_read_hit(set_index, way)
             if outcome is AccessOutcome.CLEAN:
                 self.stats.read_hits += 1
                 self.lru.touch(set_index, way)
-                return lat.hit
+                self._memoize(idx, set_index, way)
+                return self._lat_hit
             if outcome is AccessOutcome.CORRECTED:
                 self.stats.read_hits += 1
                 self.stats.corrected_reads += 1
                 self.lru.touch(set_index, way)
-                return lat.hit + lat.correction
+                self._memoize(idx, set_index, way)
+                return self._lat_hit_corrected
             # Error-induced miss: drop the copy and refetch.
+            self._hit_stamp[idx] = -1
             self.stats.error_induced_misses += 1
             if outcome is AccessOutcome.DISABLE_MISS:
                 self.tags.disable(set_index, way)
             else:
                 self.tags.invalidate(set_index, way)
             self.lru.demote(set_index, way)
-            return lat.hit + self._miss(addr)
+            return self._lat_hit + self._miss(addr)
         return self._miss(addr)
+
+    def _memoize(self, idx: int, set_index: int, way: int) -> None:
+        """Record the line's replay tuple if the scheme declares it stable.
+
+        Queried *after* ``on_read_hit`` returned (and ``self.epoch`` is
+        read afterwards too), so transitions made during the call —
+        e.g. Killi's INITIAL -> STABLE_0 fast-clean promotion, which
+        bumps the epoch — can never leave a stale-valid entry.
+        """
+        info = self.scheme.hit_replay_info(set_index, way)
+        if info is not None:
+            self._hit_info[idx] = info
+            self._hit_stamp[idx] = self.epoch
 
     def write(self, addr: int) -> int:
         """Write access (write-through, no allocate); returns latency.
@@ -117,17 +195,19 @@ class WriteThroughCache:
         """
         self.stats.writes += 1
         self.memory_writes += 1
-        set_index = self.geometry.set_of(addr)
         way = self.tags.lookup(addr)
         if way is not None:
+            set_index = (addr // self._line_bytes) % self._n_sets
             self.stats.write_hits += 1
+            # The overwrite re-rolls the line's stored contents.
+            self._hit_stamp[set_index * self._assoc + way] = -1
             self.scheme.on_write_hit(set_index, way)
             self.lru.touch(set_index, way)
         else:
             self.stats.write_misses += 1
         # Posted write: the store itself does not stall the requester
         # beyond the tag check.
-        return self.latencies.tag
+        return self._lat_tag
 
     def invalidate_line(self, set_index: int, way: int, reason: str = "") -> None:
         """Invalidate a valid line from outside the access path.
@@ -135,12 +215,13 @@ class WriteThroughCache:
         Used by Killi when an ECC-cache eviction leaves an L2 line
         unprotected (paper Section 4.3).
         """
-        line = self.tags.line(set_index, way)
-        if not line.valid:
+        tags = self.tags
+        if not tags.is_valid(set_index, way):
             return
-        if line.dirty:
+        if tags.is_dirty(set_index, way):
             self.memory_writes += 1  # write-back before dropping
-        self.tags.invalidate(set_index, way)
+        tags.invalidate(set_index, way)
+        self._hit_stamp[set_index * self._assoc + way] = -1
         self.lru.demote(set_index, way)
         self.stats.invalidations += 1
         if reason == "ecc_evict":
@@ -153,6 +234,7 @@ class WriteThroughCache:
             for way in range(self.geometry.associativity):
                 self.tags.invalidate(set_index, way)
         self.tags.enable_all()
+        self.bump_epoch()
         self.scheme.on_reset()
 
     # -- miss path ---------------------------------------------------------
@@ -162,7 +244,7 @@ class WriteThroughCache:
         self.memory_reads += 1
         if self._allocate(addr) is None:
             self.stats.bypasses += 1
-        return self.latencies.miss
+        return self._lat_miss
 
     def _allocate(self, addr: int) -> int | None:
         """Install ``addr`` into its set; returns the way or None (bypass).
@@ -171,52 +253,74 @@ class WriteThroughCache:
         discovers a multi-bit fault in the evicted contents), in which
         case another victim is chosen.
         """
-        set_index = self.geometry.set_of(addr)
-        for _ in range(self.geometry.associativity):
-            victim = self._choose_victim(set_index)
+        set_index = (addr // self._line_bytes) % self._n_sets
+        tags = self.tags
+        for _ in self._way_attempts:
+            victim, has_data = self._choose_victim(set_index)
             if victim is None:
                 # Every way disabled (or unusable): no allocation.
                 return None
-            line = self.tags.line(set_index, victim)
-            if line.valid:
+            if has_data:
                 self.stats.evictions += 1
-                if line.dirty:
+                if tags.is_dirty(set_index, victim):
                     self.memory_writes += 1  # write-back of modified data
                 self.scheme.on_evict(set_index, victim)
-                if line.disabled:
+                if tags.is_disabled(set_index, victim):
                     continue
-                self.tags.invalidate(set_index, victim)
-            self.tags.insert(addr, victim)
+                tags.invalidate(set_index, victim)
+            tags.insert(addr, victim)
+            self._hit_stamp[set_index * self._assoc + victim] = -1
             self.stats.fills += 1
             self.scheme.on_fill(set_index, victim)
             self.lru.touch(set_index, victim)
             return victim
         return None
 
-    def _choose_victim(self, set_index: int) -> int | None:
+    def _choose_victim(self, set_index: int) -> tuple:
         """Victim selection with the scheme's priorities.
 
         1. Only enabled, scheme-usable ways are candidates.
         2. Invalid candidates are preferred, ordered by the scheme's
            fill priority (Killi: b'01 > b'00 > b'10).
         3. Otherwise the LRU valid candidate is evicted.
+
+        Returns ``(way, has_data)`` where ``has_data`` tells the caller
+        whether the chosen way holds a valid line (eviction required);
+        ``(None, False)`` when no way may receive the fill.
         """
-        lines = self.tags.ways_of_set(set_index)
-        if self._scheme_filters_ways:
-            candidates = [
-                way
-                for way, line in enumerate(lines)
-                if not line.disabled and self.scheme.is_line_usable(set_index, way)
-            ]
+        tags = self.tags
+        if tags.disabled_in_set[set_index] == 0 and not self._scheme_filters_ways:
+            # Fast path: every way is a candidate.  Full set -> plain
+            # LRU; some way invalid + uniform priorities -> the first
+            # invalid way, no candidate list materialized.
+            if tags.valid_in_set[set_index] == self._assoc:
+                return self.lru.lru_way(set_index), True
+            if not self._scheme_prioritizes or self.scheme.fill_priority_is_uniform(
+                set_index
+            ):
+                return tags.first_invalid(set_index), False
+            candidates = self._all_ways
         else:
-            candidates = [
-                way for way, line in enumerate(lines) if not line.disabled
-            ]
-        if not candidates:
-            return None
-        invalid = [way for way in candidates if not lines[way].valid]
+            candidates = tags.enabled_ways(set_index)
+            if self._scheme_filters_ways:
+                candidates = [
+                    way
+                    for way in candidates
+                    if self.scheme.is_line_usable(set_index, way)
+                ]
+            if not candidates:
+                return None, False
+        invalid = tags.invalid_among(set_index, candidates)
         if invalid:
-            return max(
-                invalid, key=lambda way: self.scheme.fill_priority(set_index, way)
-            )
-        return self.lru.lru_choice(set_index, set(candidates))
+            if not self._scheme_prioritizes or self.scheme.fill_priority_is_uniform(
+                set_index
+            ):
+                # Equal priorities: first max == first candidate.
+                return invalid[0], False
+            prios = self.scheme.fill_priorities(set_index, invalid)
+            # max() with first-max tie-break, matching
+            # max(invalid, key=fill_priority).
+            return invalid[max(range(len(invalid)), key=prios.__getitem__)], False
+        if len(candidates) == self._assoc:
+            return self.lru.lru_way(set_index), True
+        return self.lru.lru_choice(set_index, candidates), True

@@ -63,12 +63,12 @@ class EccCache:
 
     def contains(self, l2_set: int, l2_way: int) -> bool:
         """Is (l2_set, l2_way) currently protected?"""
-        return (l2_set, l2_way) in self._sets[self.index_of(l2_set)]
+        return (l2_set, l2_way) in self._sets[l2_set % self.n_sets]
 
     def touch(self, l2_set: int, l2_way: int) -> None:
         """Promote the entry to MRU (coordinated replacement)."""
         self.accesses += 1
-        entries = self._sets[self.index_of(l2_set)]
+        entries = self._sets[l2_set % self.n_sets]
         key = (l2_set, l2_way)
         entries.remove(key)
         entries.insert(0, key)
@@ -82,7 +82,7 @@ class EccCache:
         which is now unprotected.
         """
         self.accesses += 1
-        entries = self._sets[self.index_of(l2_set)]
+        entries = self._sets[l2_set % self.n_sets]
         key = (l2_set, l2_way)
         if key in entries:
             raise ValueError(f"ECC entry for {key} already present")
@@ -96,7 +96,7 @@ class EccCache:
 
     def remove(self, l2_set: int, l2_way: int) -> bool:
         """Free the entry for (l2_set, l2_way); True if one existed."""
-        entries = self._sets[self.index_of(l2_set)]
+        entries = self._sets[l2_set % self.n_sets]
         key = (l2_set, l2_way)
         if key in entries:
             entries.remove(key)

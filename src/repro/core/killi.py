@@ -38,6 +38,14 @@ from repro.faults.soft_errors import SoftErrorInjector
 
 __all__ = ["KilliScheme"]
 
+# Plain-int DFH values and names for the hot paths (IntEnum lookups
+# and constructions are an order of magnitude slower than int compares).
+_STABLE_0 = int(Dfh.STABLE_0)
+_INITIAL = int(Dfh.INITIAL)
+_STABLE_1 = int(Dfh.STABLE_1)
+_DISABLED = int(Dfh.DISABLED)
+_NAMES = tuple(Dfh(v).name for v in range(4))
+
 
 class KilliScheme(ProtectionScheme):
     """The Killi mechanism as a cache protection scheme.
@@ -85,10 +93,23 @@ class KilliScheme(ProtectionScheme):
             self.config.ecc_entries(geometry.n_lines), self.config.ecc_assoc
         )
         self.soft_injector = soft_injector
-        self.dfh = np.full(geometry.n_lines, int(Dfh.INITIAL), dtype=np.uint8)
+        self._assoc = geometry.associativity
+        # DFH states live in a plain list: every access path does
+        # scalar probes/writes, where list indexing beats numpy scalar
+        # access severalfold.  Entries are always plain ints (0..3).
+        self.dfh = [int(Dfh.INITIAL)] * geometry.n_lines
+        # Per-set count of lines in a DFH state other than INITIAL;
+        # 0 means every way still carries the same fill priority.
+        self._off_initial_in_set = [0] * geometry.n_sets
         self.transitions: dict = {}
         self.sdc_events = 0
         self.hits_served = 0
+
+    def attach(self, cache) -> None:
+        super().attach(cache)
+        # External error injections (tests, campaigns) must invalidate
+        # the cache's memoized hit outcomes.
+        self.errors.external_mutation_hook = cache.bump_epoch
 
     # -- internals ---------------------------------------------------------
 
@@ -96,22 +117,23 @@ class KilliScheme(ProtectionScheme):
     _PRIORITY = (1, 2, 0, 0)
 
     def _line_id(self, set_index: int, way: int) -> int:
-        return set_index * self.geometry.associativity + way
+        return set_index * self._assoc + way
 
     def _dfh(self, line_id: int) -> Dfh:
         return Dfh(int(self.dfh[line_id]))
 
-    def _fast_clean(self, line_id: int, dfh: Dfh) -> bool:
+    def _fast_clean(self, line_id: int, dfh: int) -> bool:
         """May classification trivially conclude "no errors"?
 
         False when the error vector is non-empty, or when inverted
         write training is on and the line has real (possibly masked)
-        faults that the inverted read pair would expose.
+        faults that the inverted read pair would expose.  ``dfh``
+        compares as an int (plain value or IntEnum both work).
         """
         if self.errors.is_dirty(line_id):
             return False
         if (
-            dfh is Dfh.INITIAL
+            dfh == _INITIAL
             and self.config.inverted_write_training
             and self.errors.fault_map.has_faults(line_id)
         ):
@@ -137,12 +159,21 @@ class KilliScheme(ProtectionScheme):
             line_id, self.config.stable_segments, use_ecc=False
         )
 
-    def _set_dfh(self, line_id: int, old: Dfh, new: Dfh) -> None:
-        if old is new:
+    def _set_dfh(self, line_id: int, old: int, new: int) -> None:
+        # old/new compare and index as ints (IntEnum callers included).
+        if old == new:
             return
         self.dfh[line_id] = int(new)
-        key = (old.name, new.name)
+        if old == _INITIAL:
+            self._off_initial_in_set[line_id // self._assoc] += 1
+        elif new == _INITIAL:
+            self._off_initial_in_set[line_id // self._assoc] -= 1
+        key = (_NAMES[old], _NAMES[new])
         self.transitions[key] = self.transitions.get(key, 0) + 1
+        if self.cache is not None:
+            # A DFH transition changes classification behaviour:
+            # invalidate every memoized hit in the epoch cache.
+            self.cache.bump_epoch()
 
     def _apply_classification(
         self, set_index: int, way: int, line_id: int, old: Dfh, cls: Classification
@@ -185,13 +216,13 @@ class KilliScheme(ProtectionScheme):
     # -- ProtectionScheme hooks ---------------------------------------------
 
     def on_fill(self, set_index: int, way: int) -> None:
-        line_id = self._line_id(set_index, way)
-        dfh = self._dfh(line_id)
-        if dfh is Dfh.DISABLED:
+        line_id = set_index * self._assoc + way
+        value = self.dfh[line_id]
+        if value == _DISABLED:
             raise AssertionError("fill into a disabled line")
-        tag = self.cache.tags.line(set_index, way).tag
+        tag = self.cache.tags.tag_at(set_index, way)
         self.errors.on_fill(line_id, salt=tag)
-        if dfh in (Dfh.INITIAL, Dfh.STABLE_1):
+        if value == _INITIAL or value == _STABLE_1:
             evicted = self.ecc.insert(set_index, way)
             if evicted is not None:
                 self._handle_ecc_eviction(*evicted)
@@ -210,8 +241,8 @@ class KilliScheme(ProtectionScheme):
         errors are disabled.
         """
         line_id = self._line_id(set_index, way)
-        dfh = self._dfh(line_id)
-        if dfh is Dfh.STABLE_0:
+        value = int(self.dfh[line_id])
+        if value == _STABLE_0:
             # Only the write-back variant protects b'00 (dirty) lines.
             # Losing the checkbits leaves the dirty data parity-only;
             # write it back now (invalidate_line handles the
@@ -220,13 +251,14 @@ class KilliScheme(ProtectionScheme):
                 self.sdc_events += 1  # corrupt dirty data written back
             self.cache.invalidate_line(set_index, way, reason="ecc_evict")
             return
-        if dfh not in (Dfh.INITIAL, Dfh.STABLE_1):
+        if value not in (_INITIAL, _STABLE_1):
             raise AssertionError("ECC entry existed for an unprotected line")
-        if self._fast_clean(line_id, dfh):
+        if self._fast_clean(line_id, value):
             # Clean signals classify straight to b'00; line stays valid.
-            self._set_dfh(line_id, dfh, Dfh.STABLE_0)
+            self._set_dfh(line_id, value, _STABLE_0)
             self.cache.stats.bump("ecc_evict_reclassified_clean")
             return
+        dfh = Dfh(value)
         signals = self._signals(line_id, dfh)
         cls = classify(
             dfh,
@@ -250,7 +282,7 @@ class KilliScheme(ProtectionScheme):
         self.cache.invalidate_line(set_index, way, reason="ecc_evict")
 
     def on_read_hit(self, set_index: int, way: int) -> AccessOutcome:
-        line_id = self._line_id(set_index, way)
+        line_id = set_index * self._assoc + way
         if self.soft_injector is not None:
             offsets = self.soft_injector.sample_event(self.layout.total_bits)
             if offsets is not None:
@@ -261,13 +293,13 @@ class KilliScheme(ProtectionScheme):
             # classify b'00 as-is and b'01 / b'10 back to b'00
             # (freeing the ECC entry), exactly what the full Table 2
             # path would do.
-            value = int(self.dfh[line_id])
-            if self._fast_clean(line_id, Dfh(value)):
-                if value == int(Dfh.STABLE_0):
+            value = self.dfh[line_id]
+            if self._fast_clean(line_id, value):
+                if value == _STABLE_0:
                     self.hits_served += 1
                     return AccessOutcome.CLEAN
-                if value in (int(Dfh.INITIAL), int(Dfh.STABLE_1)):
-                    self._set_dfh(line_id, Dfh(value), Dfh.STABLE_0)
+                if value == _INITIAL or value == _STABLE_1:
+                    self._set_dfh(line_id, value, _STABLE_0)
                     self.ecc.remove(set_index, way)
                     self.hits_served += 1
                     return AccessOutcome.CLEAN
@@ -281,21 +313,52 @@ class KilliScheme(ProtectionScheme):
         )
         return self._apply_classification(set_index, way, line_id, dfh, cls)
 
-    def on_write_hit(self, set_index: int, way: int) -> None:
+    def hit_replay_info(self, set_index: int, way: int):
+        """Memoize steady-state b'00 hits (the common case after warmup).
+
+        A STABLE_0 line has no ECC entry and classifies with 4-bit
+        parity only; with no soft-error injector its signals — and thus
+        the outcome (always CLEAN here, else we would not be asked) and
+        the stat deltas — are fixed until the line's contents change
+        (fill / write hit, which clear the stamp) or a DFH transition
+        bumps the epoch.  Other DFH states touch the ECC cache on hits
+        and must take the full path.
+        """
+        if self.soft_injector is not None:
+            return None
         line_id = self._line_id(set_index, way)
+        if int(self.dfh[line_id]) != _STABLE_0:
+            return None
+        # Replays of the SEND_CLEAN path: masked corrupt data slipping
+        # through is an SDC on every hit (matches _apply_classification).
+        sdc = (
+            1
+            if self.errors.is_dirty(line_id)
+            and self.errors.has_data_errors(line_id)
+            else 0
+        )
+        return (False, 1, sdc)
+
+    def apply_replay(self, info) -> None:
+        self.hits_served += info[1]
+        self.sdc_events += info[2]
+
+    def on_write_hit(self, set_index: int, way: int) -> None:
+        line_id = set_index * self._assoc + way
         self.errors.on_write_hit(line_id)
         if self.ecc.contains(set_index, way):
             # New checkbits were generated and stored: promote.
             self.ecc.touch(set_index, way)
 
     def on_evict(self, set_index: int, way: int) -> None:
-        line_id = self._line_id(set_index, way)
-        dfh = self._dfh(line_id)
-        if dfh is Dfh.INITIAL and self.config.train_on_evict:
+        line_id = set_index * self._assoc + way
+        value = self.dfh[line_id]
+        if value == _INITIAL and self.config.train_on_evict:
             # Section 4.4: classify the evicted contents so training
             # progresses without waiting for a hit.
-            if self._fast_clean(line_id, dfh):
-                self._set_dfh(line_id, dfh, Dfh.STABLE_0)
+            dfh = Dfh.INITIAL
+            if self._fast_clean(line_id, value):
+                self._set_dfh(line_id, value, _STABLE_0)
             else:
                 signals = self._signals(line_id, dfh)
                 cls = classify(
@@ -321,8 +384,22 @@ class KilliScheme(ProtectionScheme):
         line_id = set_index * self.geometry.associativity + way
         return self._PRIORITY[int(self.dfh[line_id])]
 
+    def fill_priorities(self, set_index: int, ways) -> list:
+        if not self.config.priority_replacement:
+            return [0] * len(ways)
+        base = set_index * self._assoc
+        dfh = self.dfh[base : base + self._assoc]
+        prio = self._PRIORITY
+        return [prio[dfh[way]] for way in ways]
+
+    def fill_priority_is_uniform(self, set_index: int) -> bool:
+        if not self.config.priority_replacement:
+            return True
+        return self._off_initial_in_set[set_index] == 0
+
     def on_reset(self) -> None:
-        self.dfh[:] = int(Dfh.INITIAL)
+        self.dfh[:] = [int(Dfh.INITIAL)] * len(self.dfh)
+        self._off_initial_in_set = [0] * self.geometry.n_sets
         self.ecc.clear()
         self.errors.clear_all()
 
@@ -353,4 +430,4 @@ class KilliScheme(ProtectionScheme):
 
     def disabled_fraction(self) -> float:
         """Fraction of all lines currently in DFH b'11."""
-        return float(np.count_nonzero(self.dfh == int(Dfh.DISABLED))) / len(self.dfh)
+        return self.dfh.count(_DISABLED) / len(self.dfh)

@@ -104,6 +104,13 @@ class LineErrorModel:
         interleaved_parity: bool = True,
     ):
         self.fault_map = fault_map
+        # CSR view (offsets list + positions array) of the faults
+        # active at the operating voltage — pure in the voltage, so
+        # built lazily and dropped by the voltage setter.  The fill
+        # path probes two offsets to detect the (dominant) "no active
+        # faults" case without touching any numpy machinery.
+        self._act_offsets = None
+        self._act_positions = None
         self.voltage = voltage
         self.rng = rng
         self.layout = layout if layout is not None else LineLayout()
@@ -122,14 +129,32 @@ class LineErrorModel:
         # Packed effective error vectors, one row per physical line,
         # plus the cached row weight (popcount) for the dirty check.
         self._rows = np.zeros((fault_map.n_lines, self._words), dtype=np.uint64)
-        self._weights = np.zeros(fault_map.n_lines, dtype=np.uint16)
+        # Row weights live in a plain list: the hot fill/read paths do
+        # scalar probes per access, where list indexing beats a numpy
+        # scalar read severalfold.
+        self._weights = [0] * fault_map.n_lines
         # Read signals are pure in the row: memoise per line until the
         # next mutation (reads vastly outnumber writes).
         # line_id -> {(n_segments, use_ecc) | (n_segments, "observable"): Signals}
         self._signal_cache: dict = {}
+        # Called on *external* error-vector edits (set_effective /
+        # add_soft_error) so an owning scheme can invalidate memoized
+        # hit outcomes; wired up by the scheme's attach().
+        self.external_mutation_hook = None
         # LV offset of the boundary below which bits are always resident
         # in the (LV) main cache: data + the 4 stable parity bits.
         self._cache_resident_stop = self.layout.parity_offset + 4
+
+    @property
+    def voltage(self) -> float:
+        """Operating point; assigning a new one drops the fault memo."""
+        return self._voltage
+
+    @voltage.setter
+    def voltage(self, value: float) -> None:
+        self._voltage = value
+        self._act_offsets = None
+        self._act_positions = None
 
     # -- state updates ----------------------------------------------------
 
@@ -141,11 +166,29 @@ class LineErrorModel:
     #: state of each individual fault (new data at that bit position).
     mask_flip_probability = 0.1
 
-    def _active_positions(self, line_id: int) -> np.ndarray:
-        positions, _ = self.fault_map.line_faults(line_id, self.voltage)
+    def _ensure_active(self) -> list:
+        """Build the active-fault CSR for the current voltage."""
+        offsets, positions, _ = self.fault_map._active_csr(self._voltage)
         if not self.lv_faults_in_ecc_cache:
-            positions = positions[positions < self._cache_resident_stop]
-        return positions
+            # Bits resident in the (nominal-voltage) ECC cache never
+            # fail: filter them out once and rebuild the offsets.
+            counts = np.diff(np.asarray(offsets))
+            line_of = np.repeat(np.arange(len(counts)), counts)
+            keep = positions < self._cache_resident_stop
+            positions = positions[keep]
+            counts = np.bincount(line_of[keep], minlength=len(counts))
+            offsets = [0] * (len(counts) + 1)
+            np.cumsum(counts, out=counts)
+            offsets[1:] = counts.tolist()
+        self._act_offsets = offsets
+        self._act_positions = positions
+        return offsets
+
+    def _active_positions(self, line_id: int) -> np.ndarray:
+        offsets = self._act_offsets
+        if offsets is None:
+            offsets = self._ensure_active()
+        return self._act_positions[offsets[line_id] : offsets[line_id + 1]]
 
     def _active_mask(self, line_id: int) -> np.ndarray:
         """Packed mask of the line's active faults (cached in the map)."""
@@ -185,10 +228,13 @@ class LineErrorModel:
         self._signal_cache.pop(line_id, None)
 
     def _clear_row(self, line_id: int) -> None:
+        # Weight zero implies the row is already all-zero and the
+        # signal cache holds (at most) "observable" entries, which are
+        # pure in (line, voltage) and stay correct across a clear.
         if self._weights[line_id]:
             self._rows[line_id] = 0
-        self._weights[line_id] = 0
-        self._signal_cache.pop(line_id, None)
+            self._weights[line_id] = 0
+            self._signal_cache.pop(line_id, None)
 
     def on_fill(self, line_id: int, salt: int = 0) -> None:
         """New data (identified by ``salt``) installed into the line.
@@ -196,13 +242,14 @@ class LineErrorModel:
         Unmasked faults are determined by the deterministic coins;
         accumulated soft errors are overwritten.
         """
-        if not self.fault_map.has_faults(line_id):
+        offsets = self._act_offsets
+        if offsets is None:
+            offsets = self._ensure_active()
+        start = offsets[line_id]
+        if start == offsets[line_id + 1]:
             self._clear_row(line_id)
             return
-        positions = self._active_positions(line_id)
-        if len(positions) == 0:
-            self._clear_row(line_id)
-            return
+        positions = self._act_positions[start : offsets[line_id + 1]]
         unmasked = positions[self._masking_coins(line_id, salt, positions)]
         self._store_row(
             line_id, pack_positions(unmasked, self.layout.total_bits)
@@ -215,14 +262,20 @@ class LineErrorModel:
         ``mask_flip_probability`` (the store changed the bit at the
         faulty position); soft errors are overwritten.
         """
-        if not self.fault_map.has_faults(line_id):
+        offsets = self._act_offsets
+        if offsets is None:
+            offsets = self._ensure_active()
+        start = offsets[line_id]
+        stop = offsets[line_id + 1]
+        if start == stop:
+            # No active faults: nothing persists and the overwrite
+            # drops any accumulated soft errors.
             self._clear_row(line_id)
             return
-        positions = self._active_positions(line_id)
+        positions = self._act_positions[start:stop]
         row = self._rows[line_id] & self._active_mask(line_id)  # soft errors overwritten
-        if len(positions):
-            toggles = self.rng.random(len(positions)) < self.mask_flip_probability
-            row = row ^ pack_positions(positions[toggles], self.layout.total_bits)
+        toggles = self.rng.random(len(positions)) < self.mask_flip_probability
+        row = row ^ pack_positions(positions[toggles], self.layout.total_bits)
         self._store_row(line_id, row)
 
     def set_effective(self, line_id: int, offsets) -> None:
@@ -238,6 +291,8 @@ class LineErrorModel:
         self._store_row(
             line_id, pack_positions(sorted(offsets), self.layout.total_bits)
         )
+        if self.external_mutation_hook is not None:
+            self.external_mutation_hook()
 
     def add_soft_error(self, line_id: int, offsets) -> None:
         """XOR transient bit flips into the line's error vector."""
@@ -248,6 +303,8 @@ class LineErrorModel:
                 raise IndexError(f"offset {offset} outside the line layout")
             row[offset >> 6] ^= np.uint64(1) << np.uint64(offset & 63)
         self._store_row(line_id, row)
+        if self.external_mutation_hook is not None:
+            self.external_mutation_hook()
 
     def clear(self, line_id: int) -> None:
         """Forget the line's error state (invalidation)."""
@@ -255,7 +312,7 @@ class LineErrorModel:
 
     def clear_all(self) -> None:
         self._rows[:] = 0
-        self._weights[:] = 0
+        self._weights = [0] * len(self._weights)
         self._signal_cache.clear()
 
     # -- signal computation -------------------------------------------------

@@ -60,13 +60,12 @@ class Scrubber:
             if int(scheme.dfh[line_id]) != int(Dfh.DISABLED):
                 continue
             set_index, way = divmod(line_id, geometry.associativity)
-            line = cache.tags.line(set_index, way)
-            if not line.disabled:
+            if not cache.tags.is_disabled(set_index, way):
                 continue
             # Second chance: back to the initial (unknown) state.  The
             # line is invalid, so the next fill re-runs training with
             # fresh data (any transient is overwritten).
-            line.disabled = False
+            cache.tags.enable(set_index, way)
             scheme._set_dfh(line_id, Dfh.DISABLED, Dfh.INITIAL)
             scheme.errors.clear(line_id)
             reclaimed += 1

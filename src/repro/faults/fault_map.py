@@ -100,17 +100,93 @@ class FaultMap:
         rng = rng if rng is not None else np.random.default_rng(0)
 
         self.p_floor = self.cell_model.p_cell(floor_voltage, freq_ghz, mechanism)
-        counts = rng.binomial(line_bits, self.p_floor, size=n_lines)
-        # line -> (positions, thresholds, stuck values); only faulty lines.
-        self._faults: dict = {}
+        # Enumerate the iid Bernoulli(p_floor) cell field's successes
+        # directly: gaps between consecutive faulty cells in such a
+        # field are iid Geometric(p_floor), so the faulty cell indices
+        # are a cumulative sum of geometric draws — O(#faults) work
+        # instead of one random float per cell, and distributionally
+        # identical to materialising the whole field.  Storage is
+        # CSR-style: positions / thresholds / stuck values concatenated
+        # in line order, with per-line offsets.
+        n_cells = n_lines * line_bits
+        parts = []
+        if self.p_floor > 0.0:
+            expect = int(n_cells * self.p_floor)
+            batch = min(max(1024, expect + (expect >> 2) + 128), 1 << 22)
+            last = 0
+            while True:
+                cells = np.cumsum(rng.geometric(self.p_floor, size=batch))
+                cells += last
+                if cells[-1] >= n_cells:
+                    parts.append(cells[cells <= n_cells])
+                    break
+                parts.append(cells)
+                last = int(cells[-1])
+        flat = (
+            np.concatenate(parts) - 1
+            if parts
+            else np.empty(0, dtype=np.int64)
+        )
+        lines_of = flat // line_bits
+        total = flat.size
+        self._set_csr(
+            (flat % line_bits).astype(np.intp),
+            rng.uniform(0.0, self.p_floor, size=total),
+            rng.integers(0, 2, size=total, dtype=np.uint8),
+            lines_of.astype(np.intp),
+            np.bincount(lines_of, minlength=n_lines),
+        )
+
+    def _set_csr(
+        self,
+        positions: np.ndarray,
+        thresholds: np.ndarray,
+        values: np.ndarray,
+        line_of: np.ndarray,
+        counts: np.ndarray,
+    ) -> None:
+        """Install the concatenated fault arrays (line-ordered)."""
+        self._positions = positions
+        self._thresholds = thresholds
+        self._values = values
+        self._line_of = line_of
+        # Plain-int offsets: the hot scalar lookups (has_faults,
+        # line_faults) index this per access.
+        self._offsets = [0] * (self.n_lines + 1)
+        np.cumsum(counts, out=counts)
+        self._offsets[1:] = counts.tolist()
+        # voltage -> active-threshold mask over the whole map (one
+        # vectorized compare, shared by every line query).
+        self._active_vcache: dict = {}
+        # voltage -> (offsets, positions, values) of the *active* fault
+        # subset, line-ordered — per-line queries are two plain slices.
+        self._csr_vcache: dict = {}
         # (line, voltage, n_bits) -> packed uint64 active-fault mask.
         self._packed_cache: dict = {}
-        for line in np.nonzero(counts)[0]:
-            k = int(counts[line])
-            positions = np.sort(rng.choice(line_bits, size=k, replace=False))
-            thresholds = rng.uniform(0.0, self.p_floor, size=k)
-            values = rng.integers(0, 2, size=k, dtype=np.uint8)
-            self._faults[int(line)] = (positions, thresholds, values)
+
+    def _active_at(self, voltage: float) -> np.ndarray:
+        """Bulk mask: which of the map's faults are active at ``voltage``."""
+        mask = self._active_vcache.get(voltage)
+        if mask is None:
+            self._check_voltage(voltage)
+            mask = self._thresholds < self.p_cell(voltage)
+            self._active_vcache[voltage] = mask
+        return mask
+
+    def _active_csr(self, voltage: float):
+        """CSR view (offsets, positions, values) of the active faults."""
+        csr = self._csr_vcache.get(voltage)
+        if csr is None:
+            active = self._active_at(voltage)
+            counts = np.bincount(
+                self._line_of[active], minlength=self.n_lines
+            )
+            offsets = [0] * (self.n_lines + 1)
+            np.cumsum(counts, out=counts)
+            offsets[1:] = counts.tolist()
+            csr = (offsets, self._positions[active], self._values[active])
+            self._csr_vcache[voltage] = csr
+        return csr
 
     @classmethod
     def from_faults(
@@ -126,25 +202,35 @@ class FaultMap:
         The faults are active at every supported voltage.  Used for
         directed tests and fault-injection studies.
         """
-        import numpy as np  # local alias for clarity
-
         fault_map = cls(
             n_lines=n_lines,
             line_bits=line_bits,
             floor_voltage=floor_voltage,
             rng=np.random.default_rng(0),
         )
-        fault_map._faults = {}
-        fault_map._packed_cache = {}
-        for line, entries in faults.items():
-            entries = list(entries)
+        pos_parts, val_parts, line_parts = [], [], []
+        counts = np.zeros(n_lines, dtype=np.int64)
+        for line, entries in sorted(
+            (int(line), list(entries)) for line, entries in faults.items()
+        ):
             if not entries:
                 continue
             positions = np.array([p for p, _ in entries], dtype=np.intp)
             order = np.argsort(positions)
-            values = np.array([v for _, v in entries], dtype=np.uint8)[order]
-            thresholds = np.zeros(len(entries))  # active everywhere
-            fault_map._faults[int(line)] = (positions[order], thresholds, values)
+            pos_parts.append(positions[order])
+            val_parts.append(
+                np.array([v for _, v in entries], dtype=np.uint8)[order]
+            )
+            line_parts.append(np.full(len(entries), line, dtype=np.intp))
+            counts[line] = len(entries)
+        total = int(counts.sum())
+        fault_map._set_csr(
+            np.concatenate(pos_parts) if total else np.empty(0, dtype=np.intp),
+            np.zeros(total),  # thresholds 0: active everywhere
+            np.concatenate(val_parts) if total else np.empty(0, dtype=np.uint8),
+            np.concatenate(line_parts) if total else np.empty(0, dtype=np.intp),
+            counts,
+        )
         return fault_map
 
     def p_cell(self, voltage: float) -> float:
@@ -167,18 +253,15 @@ class FaultMap:
         A False here guarantees the line is fault-free at every
         supported voltage (fault sets shrink as voltage rises).
         """
-        return line in self._faults
+        offsets = self._offsets
+        return 0 <= line < self.n_lines and offsets[line] != offsets[line + 1]
 
     def line_faults(self, line: int, voltage: float):
         """(positions, stuck_values) active in ``line`` at ``voltage``."""
         self._check_line(line)
-        self._check_voltage(voltage)
-        entry = self._faults.get(line)
-        if entry is None:
-            return _EMPTY_POSITIONS, _EMPTY_VALUES
-        positions, thresholds, values = entry
-        active = thresholds < self.p_cell(voltage)
-        return positions[active], values[active]
+        offsets, positions, values = self._active_csr(voltage)
+        start, stop = offsets[line], offsets[line + 1]
+        return positions[start:stop], values[start:stop]
 
     def packed_line_faults(
         self, line: int, voltage: float, n_bits: int | None = None
@@ -236,18 +319,16 @@ class FaultMap:
         self._check_voltage(voltage)
         if stop is None:
             stop = self.line_bits
-        hist: dict = {}
-        faulty_lines = 0
-        for line, (positions, thresholds, _) in self._faults.items():
-            active = thresholds < self.p_cell(voltage)
-            pos = positions[active]
-            count = int(np.count_nonzero((pos >= start) & (pos < stop)))
-            if count:
-                hist[count] = hist.get(count, 0) + 1
-                faulty_lines += 1
-        if self.n_lines > faulty_lines:
-            hist[0] = self.n_lines - faulty_lines
-        return hist
+        window = (
+            self._active_at(voltage)
+            & (self._positions >= start)
+            & (self._positions < stop)
+        )
+        per_line = np.bincount(
+            self._line_of[window], minlength=self.n_lines
+        )
+        values, counts = np.unique(per_line, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
 
 
 _EMPTY_POSITIONS = np.empty(0, dtype=np.intp)

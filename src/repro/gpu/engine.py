@@ -29,10 +29,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cache.protection import ProtectionScheme
+from repro.cache.soa import resolve_substrate
 from repro.cache.stats import CacheStats
 from repro.cache.wtcache import WriteThroughCache
 from repro.gpu.config import GpuConfig
 from repro.gpu.hierarchy import SimpleL1
+from repro.gpu.l1filter import run_l1_stream
 from repro.traces.base import Trace
 
 __all__ = ["KernelResult", "GpuSimulator"]
@@ -89,6 +91,11 @@ class GpuSimulator:
     engine:
         Default inner loop: ``"vectorized"`` (numpy-flattened fast
         path) or ``"scalar"`` (reference implementation).
+    substrate:
+        Tag/LRU backing for both cache levels: ``"soa"`` (flat numpy
+        arrays, fast) or ``"object"`` (per-line objects, the pinned
+        reference); None = session default.  Orthogonal to ``engine``
+        — all four combinations are bit-identical.
     """
 
     def __init__(
@@ -96,16 +103,22 @@ class GpuSimulator:
         config: GpuConfig | None = None,
         l2_scheme: ProtectionScheme | None = None,
         engine: str = "vectorized",
+        substrate: str | None = None,
     ):
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.config = config if config is not None else GpuConfig()
         self.engine = engine
+        self.substrate = resolve_substrate(substrate)
         self.l2 = WriteThroughCache(
-            self.config.l2, l2_scheme, self.config.l2_latencies
+            self.config.l2,
+            l2_scheme,
+            self.config.l2_latencies,
+            substrate=self.substrate,
         )
         self.l1s = [
-            SimpleL1(self.config.l1_geometry()) for _ in range(self.config.n_cus)
+            SimpleL1(self.config.l1_geometry(), substrate=self.substrate)
+            for _ in range(self.config.n_cus)
         ]
 
     @staticmethod
@@ -239,48 +252,85 @@ class GpuSimulator:
         )
 
     def _run_vectorized(self, trace: Trace) -> list:
-        """Flat-pass loop over the numpy-merged access sequence.
+        """Batched L1 pre-filter + flat residue loop over the L2.
 
-        Gap accounting is batched (one ``np.sum`` per CU — addition
-        commutes within a CU), and the round-robin bookkeeping is a
-        precomputed sort instead of per-round position scans.  Cache
-        state still advances access by access, in the scalar loop's
-        exact order, so all statistics match bit for bit.
+        Stage 1 simulates each CU's entire (private, deterministic) L1
+        stream in one pass (:func:`~repro.gpu.l1filter.run_l1_stream`),
+        which also yields the CU's base latency in closed form: summed
+        compute gaps plus ``l1_hit_latency`` per load (every load pays
+        it, hit or miss).  Stage 2 replays only the L2-bound residue —
+        stores and L1 read misses — merged round-major/CU-minor, i.e.
+        in exactly the order the scalar loop reaches the L2; rounds
+        consisting purely of L1 hits never touch the bank-usage map in
+        either loop, so bank-conflict accounting matches bit for bit.
         """
         n_cus = self.config.n_cus
-        addrs, stores, cus, rounds, gap_totals = self._flatten_round_robin(trace)
-        latency = [0] * n_cus
-        l1s = self.l1s
-        l2_read = self.l2.read
-        l2_write = self.l2.write
         l1_hit_latency = self.config.l1_hit_latency
-        model_banks = self.config.model_bank_conflicts
-        bank_penalty = self.config.bank_conflict_penalty
-        bank_of = self.config.l2.bank_of
-        bank_usage: dict = {}
-        current_round = -1
 
-        for addr, is_store, cu, rnd in zip(addrs, stores, cus, rounds):
-            if model_banks and rnd != current_round:
-                bank_usage = {}
-                current_round = rnd
-            if is_store:
-                l1s[cu].write(addr)
+        addr_parts, store_parts, pos_parts, cu_parts = [], [], [], []
+        base = []
+        for cu, stream in enumerate(trace.streams):
+            addr_np = np.asarray(stream.addrs, dtype=np.int64)
+            store_np = np.asarray(stream.is_store, dtype=bool)
+            addrs = addr_np.tolist()
+            stores = store_np.tolist()
+            line_nos = (
+                addr_np // self.l1s[cu].geometry.line_bytes
+            ).tolist()
+            l2_bound = run_l1_stream(self.l1s[cu], addrs, stores, line_nos)
+            n_loads = len(stores) - int(np.count_nonzero(store_np))
+            base.append(
+                int(np.sum(np.asarray(stream.gaps, dtype=np.int64)))
+                + l1_hit_latency * n_loads
+            )
+            keep = np.flatnonzero(np.asarray(l2_bound, dtype=bool))
+            addr_parts.append(addr_np[keep])
+            store_parts.append(store_np[keep])
+            pos_parts.append(keep.astype(np.int64))
+            cu_parts.append(np.full(len(keep), cu, dtype=np.int64))
+
+        latency = [0] * n_cus
+        if addr_parts and sum(len(p) for p in addr_parts):
+            addrs_arr = np.concatenate(addr_parts)
+            stores_arr = np.concatenate(store_parts)
+            pos = np.concatenate(pos_parts)
+            cus = np.concatenate(cu_parts)
+            # Round-major, CU-minor: the scalar loop's visit order.
+            order = np.lexsort((cus, pos))
+            r_addrs = addrs_arr[order].tolist()
+            r_stores = stores_arr[order].tolist()
+            r_cus = cus[order].tolist()
+            r_rounds = pos[order].tolist()
+
+            l2_read = self.l2.read
+            l2_write = self.l2.write
+            model_banks = self.config.model_bank_conflicts
+            bank_penalty = self.config.bank_conflict_penalty
+            # bank_of(addr) == (addr // line_bytes) % banks: banks is a
+            # power of two dividing n_sets, so the set-index modulo in
+            # CacheGeometry.bank_of drops out.
+            line_bytes = self.config.l2.line_bytes
+            n_banks = self.config.l2.banks
+            bank_usage: dict = {}
+            bank_get = bank_usage.get
+            current_round = -1
+
+            for addr, is_store, cu, rnd in zip(
+                r_addrs, r_stores, r_cus, r_rounds
+            ):
                 if model_banks:
-                    latency[cu] += self._bank_delay(
-                        bank_usage, bank_of(addr), bank_penalty
-                    )
-                latency[cu] += l2_write(addr)
-            else:
-                if l1s[cu].read(addr):
-                    latency[cu] += l1_hit_latency
+                    if rnd != current_round:
+                        bank_usage.clear()
+                        current_round = rnd
+                    bank = (addr // line_bytes) % n_banks
+                    queued = bank_get(bank, 0)
+                    bank_usage[bank] = queued + 1
+                    latency[cu] += queued * bank_penalty
+                if is_store:
+                    latency[cu] += l2_write(addr)
                 else:
-                    if model_banks:
-                        latency[cu] += self._bank_delay(
-                            bank_usage, bank_of(addr), bank_penalty
-                        )
-                    latency[cu] += l1_hit_latency + l2_read(addr)
-        return [gap_totals[cu] + latency[cu] for cu in range(n_cus)]
+                    latency[cu] += l2_read(addr)
+        return [base[cu] + latency[cu] for cu in range(n_cus)]
 
     def run_kernels(self, traces) -> list:
         """Run a sequence of kernels back to back.

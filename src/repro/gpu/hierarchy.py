@@ -3,6 +3,14 @@
 The L1s run at nominal voltage (only the L2 data array is
 under-volted in the paper), so they need no protection scheme — just a
 fast write-through, no-write-allocate filter in front of the L2.
+
+Like the L2, the L1 tag/LRU state runs on either the object substrate
+(reference) or the struct-of-arrays substrate (fast path).  Because an
+L1 is private, unprotected and deterministic, its entire access stream
+can also be simulated in one batched pass — see
+:mod:`repro.gpu.l1filter`, which exports the state via
+:meth:`SimpleL1.export_filter_state`, runs the pass, and writes the
+state back.
 """
 
 from __future__ import annotations
@@ -10,6 +18,7 @@ from __future__ import annotations
 from repro.cache.geometry import CacheGeometry
 from repro.cache.replacement import LruState
 from repro.cache.setassoc import SetAssocCache
+from repro.cache.soa import SoaLruState, SoaTagStore, resolve_substrate
 from repro.cache.stats import CacheStats
 
 __all__ = ["SimpleL1"]
@@ -18,10 +27,15 @@ __all__ = ["SimpleL1"]
 class SimpleL1:
     """Write-through, no-write-allocate L1 with LRU replacement."""
 
-    def __init__(self, geometry: CacheGeometry):
+    def __init__(self, geometry: CacheGeometry, substrate: str | None = None):
         self.geometry = geometry
-        self.tags = SetAssocCache(geometry)
-        self.lru = LruState(geometry.n_sets, geometry.associativity)
+        self.substrate = resolve_substrate(substrate)
+        if self.substrate == "soa":
+            self.tags = SoaTagStore(geometry)
+            self.lru = SoaLruState(geometry.n_sets, geometry.associativity)
+        else:
+            self.tags = SetAssocCache(geometry)
+            self.lru = LruState(geometry.n_sets, geometry.associativity)
         self.stats = CacheStats()
 
     def read(self, addr: int) -> bool:
@@ -34,8 +48,10 @@ class SimpleL1:
             self.lru.touch(set_index, way)
             return True
         self.stats.read_misses += 1
-        victim = self.lru.recency_order(set_index)[-1]
-        if self.tags.line(set_index, victim).valid:
+        # No way is ever disabled here, so the plain LRU way is always
+        # the victim — an O(1) choice, no recency list materialized.
+        victim = self.lru.lru_way(set_index)
+        if self.tags.is_valid(set_index, victim):
             self.stats.evictions += 1
         self.tags.insert(addr, victim)
         self.stats.fills += 1
@@ -52,3 +68,83 @@ class SimpleL1:
             return True
         self.stats.write_misses += 1
         return False
+
+    # -- batched-filter state interchange ----------------------------------
+    #
+    # Canonical form shared by both substrates: per-slot line numbers
+    # (``-1`` = invalid) and per-slot integer ages (distinct within a
+    # set; larger = more recent), both flat lists indexed by
+    # ``set * associativity + way``, plus the per-set age clocks and
+    # the line-number -> way dict.
+
+    def export_filter_state(self):
+        """State tuple ``(index, slot_line, age, clock)`` for the filter."""
+        geometry = self.geometry
+        n_sets, assoc = geometry.n_sets, geometry.associativity
+        if self.substrate == "soa":
+            tags, lru = self.tags, self.lru
+            slot_line = list(tags._line_at)
+            age = list(lru.age)
+            clock = list(lru._clock)
+            index = dict(tags._index)
+            return index, slot_line, age, clock
+        slot_line = [-1] * (n_sets * assoc)
+        age = [0] * (n_sets * assoc)
+        index = {}
+        for set_index in range(n_sets):
+            base = set_index * assoc
+            for way in range(assoc):
+                if self.tags.is_valid(set_index, way):
+                    line_no = (
+                        self.tags.tag_at(set_index, way) * n_sets + set_index
+                    )
+                    slot_line[base + way] = line_no
+                    index[line_no] = way
+            # MRU-first order -> descending distinct ages 0, -1, ...
+            for pos, way in enumerate(self.lru.recency_order(set_index)):
+                age[base + way] = -pos
+        clock = [1] * n_sets
+        return index, slot_line, age, clock
+
+    def import_filter_state(self, state) -> None:
+        """Write a filter state tuple back into the substrate."""
+        index, slot_line, age, clock = state
+        geometry = self.geometry
+        n_sets, assoc = geometry.n_sets, geometry.associativity
+        if self.substrate == "soa":
+            tags, lru = self.tags, self.lru
+            for set_index in range(n_sets):
+                base = set_index * assoc
+                n_valid = 0
+                for way in range(assoc):
+                    line_no = slot_line[base + way]
+                    tags.valid[set_index, way] = line_no >= 0
+                    tags.tag[set_index, way] = (
+                        line_no // n_sets if line_no >= 0 else -1
+                    )
+                    if line_no >= 0:
+                        n_valid += 1
+                tags.valid_in_set[set_index] = n_valid
+            lru.age = list(age)
+            tags._index = index
+            tags._line_at = list(slot_line)
+            tags._n_valid = len(index)
+            lru._clock = list(clock)
+            return
+        tags = self.tags
+        for set_index in range(n_sets):
+            base = set_index * assoc
+            tag_index = {}
+            for way in range(assoc):
+                line = tags.line(set_index, way)
+                line_no = slot_line[base + way]
+                line.valid = line_no >= 0
+                line.tag = line_no // n_sets if line_no >= 0 else -1
+                if line_no >= 0:
+                    tag_index[line.tag] = way
+            tags._tag_index[set_index] = tag_index
+            tags.valid_in_set[set_index] = len(tag_index)
+            # Rebuild the MRU-first order from the (distinct) ages.
+            order = sorted(range(assoc), key=lambda w: -age[base + w])
+            self.lru._order[set_index] = order
+        tags._n_valid = len(index)

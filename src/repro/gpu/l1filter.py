@@ -1,0 +1,101 @@
+"""Batched L1 pre-filter.
+
+An L1 is private to its CU, unprotected (nominal voltage) and fully
+deterministic: its state after access *k* depends only on its own
+stream's first *k* accesses.  So instead of interleaving L1 calls with
+L2 calls access by access, the engine runs each CU's entire L1 stream
+through one tight pass here and keeps only the *L2-bound residue* —
+stores (write-through) and read misses — typically a small fraction of
+the stream.
+
+The pass works on the canonical filter state exported by
+:meth:`repro.gpu.hierarchy.SimpleL1.export_filter_state` (per-slot
+line numbers and distinct integer ages), so it is substrate-agnostic
+and bit-identical to the per-access path: same LRU victim (unique
+minimum age), same hit/miss stream, same ``CacheStats`` counters.
+"""
+
+from __future__ import annotations
+
+__all__ = ["run_l1_stream"]
+
+
+def run_l1_stream(l1, addrs, is_store, line_nos=None):
+    """Run one CU's whole access stream through its L1.
+
+    Parameters
+    ----------
+    l1:
+        The CU's :class:`~repro.gpu.hierarchy.SimpleL1`; its tag/LRU
+        state and stats are advanced exactly as per-access calls would.
+    addrs / is_store:
+        The stream as aligned Python lists.
+    line_nos:
+        Optional pre-divided line numbers (``addr // line_bytes``),
+        aligned with ``addrs``; the caller can derive them in one
+        vectorized pass.
+
+    Returns
+    -------
+    list[bool]
+        ``l2_bound[i]`` — True where access *i* continues to the L2
+        (every store, plus every read miss).
+    """
+    geometry = l1.geometry
+    n_sets = geometry.n_sets
+    assoc = geometry.associativity
+    line_bytes = geometry.line_bytes
+    index, slot_line, age, clock = l1.export_filter_state()
+    index_get = index.get
+
+    if line_nos is None:
+        line_nos = [addr // line_bytes for addr in addrs]
+    l2_bound = []
+    append = l2_bound.append
+    reads = read_hits = evictions = fills = 0
+    writes = write_hits = 0
+
+    for line_no, store in zip(line_nos, is_store):
+        way = index_get(line_no)
+        if store:
+            writes += 1
+            if way is not None:
+                write_hits += 1
+                set_index = line_no % n_sets
+                age[set_index * assoc + way] = clock[set_index]
+                clock[set_index] += 1
+            append(True)
+        else:
+            reads += 1
+            set_index = line_no % n_sets
+            base = set_index * assoc
+            if way is not None:
+                read_hits += 1
+                age[base + way] = clock[set_index]
+                append(False)
+            else:
+                # Miss: evict the unique minimum-age (LRU) way, fill.
+                row = age[base : base + assoc]
+                victim = row.index(min(row))
+                old = slot_line[base + victim]
+                if old >= 0:
+                    evictions += 1
+                    del index[old]
+                slot_line[base + victim] = line_no
+                index[line_no] = victim
+                fills += 1
+                age[base + victim] = clock[set_index]
+                append(True)
+            clock[set_index] += 1
+
+    l1.import_filter_state((index, slot_line, age, clock))
+    stats = l1.stats
+    stats.reads += reads
+    stats.read_hits += read_hits
+    stats.read_misses += reads - read_hits
+    stats.evictions += evictions
+    stats.fills += fills
+    stats.writes += writes
+    stats.write_hits += write_hits
+    stats.write_misses += writes - write_hits
+    return l2_bound

@@ -99,6 +99,8 @@ def fig4_fig5_performance(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     progress=None,
+    engine: str = "vectorized",
+    substrate: Optional[str] = None,
 ) -> PerformanceMatrix:
     """Run the Figure 4/5 (workload x scheme) simulation matrix.
 
@@ -106,7 +108,9 @@ def fig4_fig5_performance(
     GPU per (workload, scheme) cell.  Cells go through the parallel
     runner: ``jobs`` fans them out over processes, ``cache_dir``
     enables the on-disk result cache, and both are bit-identical to
-    the serial uncached run.
+    the serial uncached run.  ``engine`` and ``substrate`` pick the
+    inner loop and the tag/LRU backing; every combination is pinned
+    bit-equivalent, so neither changes the numbers.
     """
     workloads = list(workloads) if workloads is not None else workload_names()
     schemes = list(schemes) if schemes is not None else scheme_names()
@@ -119,6 +123,8 @@ def fig4_fig5_performance(
             voltage=voltage,
             seed=seed,
             accesses_per_cu=accesses_per_cu,
+            engine=engine,
+            substrate=substrate,
         )
         for workload in workloads
         for scheme in schemes

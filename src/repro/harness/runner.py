@@ -175,8 +175,9 @@ class CellSpec:
 
     The tuple (workload, scheme, voltage, seed, accesses_per_cu,
     scheme_config, write_back) fully determines the simulation via
-    named RNG streams; ``engine`` picks the inner loop but never the
-    numbers (the engines are pinned bit-equivalent), so it is excluded
+    named RNG streams; ``engine`` picks the inner loop and
+    ``substrate`` the tag/LRU backing, but neither changes the numbers
+    (all combinations are pinned bit-equivalent), so both are excluded
     from the cache fingerprint.
     """
 
@@ -190,6 +191,8 @@ class CellSpec:
     plain dict — it is normalised on construction."""
     write_back: bool = False
     engine: str = "vectorized"
+    substrate: Optional[str] = None
+    """Tag/LRU substrate ("object" / "soa"); None = session default."""
 
     def __post_init__(self):
         if isinstance(self.scheme_config, dict):
@@ -207,6 +210,7 @@ class CellSpec:
         """Stable content key for the on-disk result cache."""
         payload = asdict(self)
         del payload["engine"]  # engines are bit-equivalent
+        del payload["substrate"]  # substrates are bit-equivalent
         payload["schema"] = SCHEMA_VERSION
         blob = json.dumps(payload, sort_keys=True, default=str)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -293,9 +297,16 @@ def run_cell(spec: CellSpec) -> CellResult:
         scheme_config=spec.scheme_overrides or None,
         write_back=spec.write_back,
     )
-    simulator = GpuSimulator(gpu_config, scheme, engine=spec.engine)
+    simulator = GpuSimulator(
+        gpu_config, scheme, engine=spec.engine, substrate=spec.substrate
+    )
     if spec.write_back:
-        simulator.l2 = WriteBackCache(gpu_config.l2, scheme, gpu_config.l2_latencies)
+        simulator.l2 = WriteBackCache(
+            gpu_config.l2,
+            scheme,
+            gpu_config.l2_latencies,
+            substrate=simulator.substrate,
+        )
 
     started = time.perf_counter()
     result = simulator.run(trace)

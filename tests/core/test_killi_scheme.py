@@ -322,7 +322,7 @@ class TestReset:
         assert cache.tags.line(0, 0).disabled
         cache.reset()
         assert not cache.tags.line(0, 0).disabled
-        assert (scheme.dfh == int(Dfh.INITIAL)).all()
+        assert all(v == int(Dfh.INITIAL) for v in scheme.dfh)
         assert scheme.ecc.occupancy == 0
 
     def test_relearns_after_reset(self):

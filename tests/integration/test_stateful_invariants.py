@@ -107,14 +107,25 @@ class KilliMachine(RuleBasedStateMachine):
     @invariant()
     def tag_index_consistency(self):
         tags = self.cache.tags
-        for set_index in range(GEO.n_sets):
-            index = tags._tag_index[set_index]
-            valid = {
-                line.tag: way
-                for way, line in enumerate(tags.ways_of_set(set_index))
-                if line.valid
-            }
-            assert index == valid, set_index
+        if hasattr(tags, "_tag_index"):  # object substrate: per-set dicts
+            for set_index in range(GEO.n_sets):
+                index = tags._tag_index[set_index]
+                valid = {
+                    line.tag: way
+                    for way, line in enumerate(tags.ways_of_set(set_index))
+                    if line.valid
+                }
+                assert index == valid, set_index
+        else:  # soa substrate: one line-number -> way dict
+            valid = {}
+            for set_index in range(GEO.n_sets):
+                for way in range(GEO.associativity):
+                    if tags.is_valid(set_index, way):
+                        line_no = (
+                            tags.tag_at(set_index, way) * GEO.n_sets + set_index
+                        )
+                        valid[line_no] = way
+            assert tags._index == valid
 
     @invariant()
     def lru_is_permutation(self):

@@ -102,6 +102,6 @@ class TestVoltageTransitions:
         cache, scheme, _ = system
         warm(cache, n=5000)
         scheme.change_voltage(0.65)
-        assert (scheme.dfh == int(Dfh.INITIAL)).all()
+        assert all(v == int(Dfh.INITIAL) for v in scheme.dfh)
         assert scheme.ecc.occupancy == 0
         assert cache.tags.count_valid() == 0
