@@ -45,6 +45,9 @@ from repro.faults.cell_model import CellFaultModel
 from repro.faults.fault_map import FaultMap
 from repro.gpu.config import GpuConfig
 from repro.harness.experiments import fig4_fig5_performance, fig6_coverage
+from repro.harness.runner import LV_VOLTAGE
+from repro.scenario.config import cell_scenario
+from repro.scenario.runfile import scenario_fingerprint
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -219,6 +222,20 @@ def bench_fig4(accesses: int) -> dict:
     vector_s, vector = _timed(fig4_fig5_performance, engine="vectorized", **kwargs)
     scalar_s, scalar = _timed(fig4_fig5_performance, engine="scalar", **kwargs)
     assert vector.points == scalar.points, "engines diverged on the fig4 slice"
+    # Fingerprint of the exact cell set simulated above (fig4 always
+    # prepends baseline); ties this BENCH entry to a reproducible unit
+    # of work, independent of engine/substrate.
+    cells = [
+        cell_scenario(
+            workload,
+            scheme,
+            voltage=LV_VOLTAGE,
+            seed=kwargs["seed"],
+            accesses_per_cu=accesses,
+        )
+        for workload in kwargs["workloads"]
+        for scheme in ["baseline"] + kwargs["schemes"]
+    ]
     return {
         "seconds": round(vector_s, 2),
         "scalar_seconds": round(scalar_s, 2),
@@ -227,6 +244,7 @@ def bench_fig4(accesses: int) -> dict:
         "workloads": 2,
         "schemes": 2,  # baseline is always added
         "accesses_per_cu": accesses,
+        "scenario_fingerprint": scenario_fingerprint(cells),
     }
 
 

@@ -32,26 +32,29 @@ import os
 import numpy as np
 
 from repro.cache.geometry import CacheGeometry
+from repro.scenario.registries import SUBSTRATE_REGISTRY, SubstrateSpec
 
 __all__ = [
     "SUBSTRATES",
     "default_substrate",
     "resolve_substrate",
+    "substrate_spec",
     "SoaLineView",
     "SoaTagStore",
     "SoaLruState",
 ]
 
-#: Valid substrate names.
+#: The built-in substrate names (registry may hold more).
 SUBSTRATES = ("object", "soa")
 
 
 def default_substrate() -> str:
     """The session default: ``REPRO_SUBSTRATE`` env var or ``"soa"``."""
     value = os.environ.get("REPRO_SUBSTRATE", "soa")
-    if value not in SUBSTRATES:
+    if value not in SUBSTRATE_REGISTRY:
         raise ValueError(
-            f"REPRO_SUBSTRATE={value!r} is not one of {SUBSTRATES}"
+            f"REPRO_SUBSTRATE={value!r} is not one of "
+            f"{tuple(SUBSTRATE_REGISTRY.names())}"
         )
     return value
 
@@ -60,11 +63,17 @@ def resolve_substrate(substrate: str | None) -> str:
     """Validate an explicit substrate choice, or fall back to the default."""
     if substrate is None:
         return default_substrate()
-    if substrate not in SUBSTRATES:
+    if substrate not in SUBSTRATE_REGISTRY:
         raise ValueError(
-            f"unknown substrate {substrate!r}; expected one of {SUBSTRATES}"
+            f"unknown substrate {substrate!r}; expected one of "
+            f"{tuple(SUBSTRATE_REGISTRY.names())}"
         )
     return substrate
+
+
+def substrate_spec(substrate: str | None) -> SubstrateSpec:
+    """The :class:`SubstrateSpec` backing a (possibly default) name."""
+    return SUBSTRATE_REGISTRY.resolve(resolve_substrate(substrate))
 
 
 class SoaLineView:
@@ -360,3 +369,35 @@ class SoaLruState:
                 best_age = a
                 best = way
         return best
+
+
+def _object_tag_store(geometry: CacheGeometry):
+    from repro.cache.setassoc import SetAssocCache
+
+    return SetAssocCache(geometry)
+
+
+def _object_lru(geometry: CacheGeometry):
+    from repro.cache.replacement import LruState
+
+    return LruState(geometry.n_sets, geometry.associativity)
+
+
+SUBSTRATE_REGISTRY.register(
+    "object",
+    SubstrateSpec(
+        name="object",
+        tag_store=_object_tag_store,
+        lru=_object_lru,
+        description="per-line objects; the pinned reference implementation",
+    ),
+)
+SUBSTRATE_REGISTRY.register(
+    "soa",
+    SubstrateSpec(
+        name="soa",
+        tag_store=SoaTagStore,
+        lru=lambda geometry: SoaLruState(geometry.n_sets, geometry.associativity),
+        description="flat numpy arrays; the fast path",
+    ),
+)

@@ -28,9 +28,7 @@ from dataclasses import dataclass
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.protection import AccessOutcome, ProtectionScheme
-from repro.cache.replacement import LruState
-from repro.cache.setassoc import SetAssocCache
-from repro.cache.soa import SoaLruState, SoaTagStore, resolve_substrate
+from repro.cache.soa import resolve_substrate, substrate_spec
 from repro.cache.stats import CacheStats
 
 __all__ = ["CacheLatencies", "WriteThroughCache"]
@@ -85,12 +83,9 @@ class WriteThroughCache:
         self.scheme = scheme if scheme is not None else ProtectionScheme()
         self.latencies = latencies if latencies is not None else CacheLatencies()
         self.substrate = resolve_substrate(substrate)
-        if self.substrate == "soa":
-            self.tags = SoaTagStore(geometry)
-            self.lru = SoaLruState(geometry.n_sets, geometry.associativity)
-        else:
-            self.tags = SetAssocCache(geometry)
-            self.lru = LruState(geometry.n_sets, geometry.associativity)
+        spec = substrate_spec(self.substrate)
+        self.tags = spec.tag_store(geometry)
+        self.lru = spec.lru(geometry)
         self.stats = CacheStats()
         self.memory_reads = 0
         self.memory_writes = 0

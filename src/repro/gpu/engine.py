@@ -35,12 +35,28 @@ from repro.cache.wtcache import WriteThroughCache
 from repro.gpu.config import GpuConfig
 from repro.gpu.hierarchy import SimpleL1
 from repro.gpu.l1filter import run_l1_stream
+from repro.scenario.registries import ENGINE_REGISTRY
 from repro.traces.base import Trace
 
-__all__ = ["KernelResult", "GpuSimulator"]
+__all__ = ["ENGINES", "KernelResult", "GpuSimulator"]
 
-#: Valid inner-loop implementations.
+#: The built-in inner-loop implementations (registry may hold more).
 ENGINES = ("vectorized", "scalar")
+
+
+def _resolve_engine(engine: str):
+    """The registered inner loop for ``engine`` (``(sim, trace) -> cycles``).
+
+    Engines are an open axis: built-ins register at the bottom of this
+    module, third-party loops via ``ENGINE_REGISTRY.register``.  The
+    historical ``ValueError`` is preserved for unknown names.
+    """
+    try:
+        return ENGINE_REGISTRY.resolve(engine)
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {tuple(ENGINE_REGISTRY.names())}"
+        ) from None
 
 
 @dataclass
@@ -105,8 +121,7 @@ class GpuSimulator:
         engine: str = "vectorized",
         substrate: str | None = None,
     ):
-        if engine not in ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        _resolve_engine(engine)
         self.config = config if config is not None else GpuConfig()
         self.engine = engine
         self.substrate = resolve_substrate(substrate)
@@ -135,8 +150,7 @@ class GpuSimulator:
         this kernel only; both loops are bit-equivalent.
         """
         engine = engine if engine is not None else self.engine
-        if engine not in ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        inner_loop = _resolve_engine(engine)
         if len(trace.streams) != self.config.n_cus:
             raise ValueError(
                 f"trace has {len(trace.streams)} CU streams, "
@@ -145,10 +159,7 @@ class GpuSimulator:
         l2_before = self.l2.stats.copy()
         l1_before = [l1.stats.copy() for l1 in self.l1s]
 
-        if engine == "vectorized":
-            cycles = self._run_vectorized(trace)
-        else:
-            cycles = self._run_scalar(trace)
+        cycles = inner_loop(self, trace)
 
         l2_after = self.l2.stats.copy()
         l1_after = [l1.stats.copy() for l1 in self.l1s]
@@ -345,3 +356,8 @@ class GpuSimulator:
         view in ``l2_stats_cumulative``/``l1_stats_cumulative``.
         """
         return [self.run(trace) for trace in traces]
+
+
+# Built-in inner loops: ``(simulator, trace) -> per-CU cycle list``.
+ENGINE_REGISTRY.register("vectorized", GpuSimulator._run_vectorized)
+ENGINE_REGISTRY.register("scalar", GpuSimulator._run_scalar)

@@ -16,9 +16,7 @@ state back.
 from __future__ import annotations
 
 from repro.cache.geometry import CacheGeometry
-from repro.cache.replacement import LruState
-from repro.cache.setassoc import SetAssocCache
-from repro.cache.soa import SoaLruState, SoaTagStore, resolve_substrate
+from repro.cache.soa import resolve_substrate, substrate_spec
 from repro.cache.stats import CacheStats
 
 __all__ = ["SimpleL1"]
@@ -30,12 +28,9 @@ class SimpleL1:
     def __init__(self, geometry: CacheGeometry, substrate: str | None = None):
         self.geometry = geometry
         self.substrate = resolve_substrate(substrate)
-        if self.substrate == "soa":
-            self.tags = SoaTagStore(geometry)
-            self.lru = SoaLruState(geometry.n_sets, geometry.associativity)
-        else:
-            self.tags = SetAssocCache(geometry)
-            self.lru = LruState(geometry.n_sets, geometry.associativity)
+        spec = substrate_spec(self.substrate)
+        self.tags = spec.tag_store(geometry)
+        self.lru = spec.lru(geometry)
         self.stats = CacheStats()
 
     def read(self, addr: int) -> bool:

@@ -1,11 +1,15 @@
 """Experiment harness.
 
 One runner per table/figure of the paper's evaluation (see DESIGN.md's
-experiment index), a scheme factory shared by all of them, a parallel
-cell-execution engine (:mod:`repro.harness.runner`) every simulation
-campaign goes through, and a CLI (``killi-experiment``) that prints
-the regenerated rows/series next to the paper's numbers recorded in
-EXPERIMENTS.md.
+experiment index), a registry-backed scheme factory shared by all of
+them (:mod:`repro.scenario`), a parallel cell-execution engine
+(:mod:`repro.harness.runner`) every simulation campaign goes through —
+accepting both legacy :class:`CellSpec` cells and declarative
+:class:`~repro.scenario.config.ScenarioConfig` scenarios — and a CLI
+(``killi-experiment``) that prints the regenerated rows/series next to
+the paper's numbers recorded in EXPERIMENTS.md, plus
+``killi-experiment scenario run|validate|list`` for committed scenario
+files.
 """
 
 from repro.harness.experiments import (

@@ -17,7 +17,8 @@ from typing import Dict, Optional
 
 from repro.core import KilliConfig, KilliScheme
 from repro.faults import FaultMap
-from repro.harness.runner import LV_VOLTAGE, CellResult, CellSpec, run_cell, run_cells
+from repro.harness.runner import LV_VOLTAGE, CellResult, run_cell, run_cells
+from repro.scenario.config import ScenarioConfig, cell_scenario
 from repro.utils.rng import RngFactory
 
 __all__ = [
@@ -37,11 +38,11 @@ def _killi_spec(
     seed: int,
     overrides: Optional[dict] = None,
     write_back: bool = False,
-) -> CellSpec:
+) -> ScenarioConfig:
     """One (workload, Killi-config) ablation cell."""
-    return CellSpec(
-        workload=workload,
-        scheme=f"killi_1:{ecc_ratio}",
+    return cell_scenario(
+        workload,
+        f"killi_1:{ecc_ratio}",
         voltage=LV_VOLTAGE,
         seed=seed,
         accesses_per_cu=accesses_per_cu,

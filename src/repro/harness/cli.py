@@ -5,19 +5,27 @@ Examples::
     killi-experiment table5
     killi-experiment fig6
     killi-experiment fig4 --accesses 10000 --workloads fft xsbench
+    killi-experiment fig4 --schemes baseline killi_1:64 killi+olsc-t11_1:8
     killi-experiment fig4 --jobs 4 --cache .killi-cache
     killi-experiment all --quick
+
+File-driven scenario runs (see ``docs/scenario-layer.md``)::
+
+    killi-experiment scenario run examples/scenarios/fig4_slice.toml
+    killi-experiment scenario validate examples/scenarios/*.toml
+    killi-experiment scenario list
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.harness import experiments
 from repro.utils.tables import format_table
 
-__all__ = ["main"]
+__all__ = ["main", "scenario_main"]
 
 
 def _progress_printer(args):
@@ -57,6 +65,7 @@ def _run_fig6() -> None:
 def _run_perf(args) -> None:
     matrix = experiments.fig4_fig5_performance(
         workloads=args.workloads or None,
+        schemes=args.schemes or None,
         accesses_per_cu=args.accesses,
         seed=args.seed,
         jobs=args.jobs,
@@ -171,6 +180,7 @@ def _export_csv(args) -> None:
     elif name in ("fig4", "fig5"):
         matrix = experiments.fig4_fig5_performance(
             workloads=args.workloads or None,
+            schemes=args.schemes or None,
             accesses_per_cu=args.accesses,
             seed=args.seed,
             jobs=args.jobs,
@@ -180,7 +190,160 @@ def _export_csv(args) -> None:
     print(f"CSV written under {args.csv}/")
 
 
+# -- scenario subcommand ------------------------------------------------------
+
+
+def _scenario_progress(done, total, cell):
+    tag = " (cached)" if cell.from_cache else f" {cell.elapsed_s:.1f}s"
+    print(
+        f"[{done}/{total}] {cell.workload}/{cell.scheme}"
+        f"@{cell.voltage:g}V{tag}",
+        file=sys.stderr,
+    )
+
+
+def _scenario_run(args) -> int:
+    from repro.scenario.runfile import load_scenario, run_scenario
+
+    scenario = load_scenario(args.file)
+    summary = run_scenario(
+        scenario,
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        progress=_scenario_progress if not args.no_progress else None,
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+        print(f"results written to {args.json}", file=sys.stderr)
+    rows = [
+        (
+            cell["workload"],
+            cell["scheme"],
+            f"{cell['voltage']:g}",
+            cell["seed"],
+            cell["cycles"],
+            f"{1000.0 * (cell['l2']['read_misses'] + cell['l2']['write_misses']) / cell['instructions']:.1f}"
+            if cell["instructions"]
+            else "0.0",
+            f"{cell['disabled_fraction']:.2%}",
+        )
+        for cell in summary["cells"]
+    ]
+    title = f"scenario {scenario.name} ({summary['fingerprint'][:12]})"
+    print(format_table(
+        ["workload", "scheme", "VDD", "seed", "cycles", "MPKI", "disabled"],
+        rows,
+        title=title,
+    ))
+    return 0
+
+
+def _scenario_validate(args) -> int:
+    from repro.scenario.runfile import load_scenario
+
+    failures = 0
+    for path in args.files:
+        try:
+            scenario = load_scenario(path)
+            cells = scenario.validate()
+        except (OSError, KeyError, ValueError) as error:
+            print(f"FAIL {path}: {error}")
+            failures += 1
+            continue
+        print(
+            f"ok   {path}: {scenario.name!r}, {len(cells)} cell(s), "
+            f"fingerprint {scenario.fingerprint()[:12]}"
+        )
+    return 1 if failures else 0
+
+
+def _scenario_list(args) -> int:
+    import glob
+    import os
+
+    from repro.scenario.registries import (
+        ENGINE_REGISTRY,
+        SCHEME_REGISTRY,
+        SUBSTRATE_REGISTRY,
+        WORKLOAD_REGISTRY,
+    )
+    from repro.scenario.runfile import load_scenario
+
+    paths = sorted(
+        glob.glob(os.path.join(args.dir, "*.toml"))
+        + glob.glob(os.path.join(args.dir, "*.json"))
+    )
+    if paths:
+        rows = []
+        for path in paths:
+            try:
+                scenario = load_scenario(path)
+                rows.append(
+                    (path, scenario.name, len(scenario.expand()),
+                     scenario.description or "-")
+                )
+            except (OSError, ValueError) as error:
+                rows.append((path, "<invalid>", "-", str(error)[:60]))
+        print(format_table(
+            ["file", "name", "cells", "description"],
+            rows,
+            title=f"scenario files under {args.dir}/",
+        ))
+    else:
+        print(f"no scenario files under {args.dir}/")
+    print()
+    for label, registry in (
+        ("schemes", SCHEME_REGISTRY),
+        ("workloads", WORKLOAD_REGISTRY),
+        ("engines", ENGINE_REGISTRY),
+        ("substrates", SUBSTRATE_REGISTRY),
+    ):
+        print(f"{label}: {', '.join(registry.names())}")
+    return 0
+
+
+def scenario_main(argv=None) -> int:
+    """Entry point for ``killi-experiment scenario ...``."""
+    parser = argparse.ArgumentParser(
+        prog="killi-experiment scenario",
+        description="Run, validate and list declarative scenario files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="execute a scenario file")
+    run_p.add_argument("file", help="scenario .toml/.json file")
+    run_p.add_argument("--jobs", type=int, default=1, metavar="N")
+    run_p.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="fingerprint-keyed on-disk result cache",
+    )
+    run_p.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the full per-cell results as JSON",
+    )
+    run_p.add_argument("--no-progress", action="store_true")
+
+    val_p = sub.add_parser("validate", help="validate scenario files")
+    val_p.add_argument("files", nargs="+", help="scenario .toml/.json files")
+
+    list_p = sub.add_parser(
+        "list", help="list scenario files and registered plugin names"
+    )
+    list_p.add_argument("--dir", default="examples/scenarios")
+
+    args = parser.parse_args(argv)
+    return {
+        "run": _scenario_run,
+        "validate": _scenario_validate,
+        "list": _scenario_list,
+    }[args.command](args)
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "scenario":
+        return scenario_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="killi-experiment",
         description="Regenerate the Killi paper's tables and figures.",
@@ -198,6 +361,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--workloads", nargs="*", default=None,
         help="restrict Figure 4/5 to these workloads",
+    )
+    parser.add_argument(
+        "--schemes", nargs="*", default=None,
+        help="restrict Figure 4/5 to these scheme names — any name the "
+             "scheme registry resolves, including killi+<code>_1:<ratio> "
+             "strong-code variants (baseline is always included)",
     )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(

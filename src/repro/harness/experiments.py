@@ -21,11 +21,12 @@ from repro.harness.results import PerformanceMatrix
 from repro.harness.runner import (
     KILLI_RATIOS,
     LV_VOLTAGE,
-    CellSpec,
     make_scheme,
     run_cells,
     scheme_names,
 )
+from repro.scenario.config import cell_scenario
+from repro.scenario.schemes import resolve_scheme
 from repro.traces import workload_names
 from repro.utils.rng import RngFactory
 
@@ -116,10 +117,12 @@ def fig4_fig5_performance(
     schemes = list(schemes) if schemes is not None else scheme_names()
     if "baseline" not in schemes:
         schemes = ["baseline"] + schemes
+    for scheme in schemes:
+        resolve_scheme(scheme)  # fail fast, before any cell simulates
     specs = [
-        CellSpec(
-            workload=workload,
-            scheme=scheme,
+        cell_scenario(
+            workload,
+            scheme,
             voltage=voltage,
             seed=seed,
             accesses_per_cu=accesses_per_cu,
@@ -247,9 +250,9 @@ def sec55_lower_vmin(
         "killi_olsc_1:8": "killi+olsc-t11_1:8",
     }
     specs = [
-        CellSpec(
-            workload=workload,
-            scheme=scheme,
+        cell_scenario(
+            workload,
+            scheme,
             voltage=voltage,
             seed=seed,
             accesses_per_cu=accesses_per_cu,

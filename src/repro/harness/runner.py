@@ -26,23 +26,26 @@ the parent's warm memo for free.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from functools import lru_cache
 from typing import Callable, Iterable, List, Optional
 
-from repro.baselines import DectedScheme, FlairScheme, MsEccScheme
-from repro.cache.protection import ProtectionScheme, UnprotectedScheme
 from repro.cache.wbcache import WriteBackCache
-from repro.core import KilliConfig, KilliScheme, KilliWriteBackScheme
 from repro.faults import FaultMap
-from repro.gpu import GpuConfig, GpuSimulator
+from repro.gpu import GpuSimulator
 from repro.harness.results import PerfPoint
+from repro.scenario.config import ScenarioConfig, as_scenario
+from repro.scenario.schemes import (
+    KILLI_RATIOS,
+    LV_VOLTAGE,
+    make_scheme,
+    scheme_names,
+)
 from repro.traces import workload_trace
 from repro.utils.rng import RngFactory
 
@@ -58,82 +61,6 @@ __all__ = [
 #: Bump when CellResult's serialised shape changes: invalidates every
 #: on-disk cache entry written by an older layout.
 SCHEMA_VERSION = 1
-
-#: Killi ECC-cache ratios the paper sweeps.
-KILLI_RATIOS = (256, 128, 64, 32, 16)
-
-#: Operating point of all fixed-voltage performance experiments (Table 3).
-LV_VOLTAGE = 0.625
-
-
-def scheme_names(ratios: Iterable[int] = KILLI_RATIOS) -> List[str]:
-    """The Figure 4/5 scheme axis, baseline first."""
-    return ["baseline", "dected", "flair", "msecc"] + [
-        f"killi_1:{r}" for r in ratios
-    ]
-
-
-def make_scheme(
-    name: str,
-    gpu_config: GpuConfig,
-    fault_map: FaultMap,
-    voltage: float,
-    rngs: RngFactory,
-    scheme_config: Optional[dict] = None,
-    write_back: bool = False,
-) -> ProtectionScheme:
-    """Build a protection scheme by its experiment-axis name.
-
-    Recognised names: ``baseline``, ``dected``, ``flair``, ``msecc``,
-    ``killi_1:<ratio>`` (SECDED ECC cache) and
-    ``killi+<code>_1:<ratio>`` (strong ECC-cache code, e.g.
-    ``killi+olsc-t11_1:8`` for Section 5.5).
-
-    ``scheme_config`` overrides :class:`~repro.core.KilliConfig`
-    fields (ablation switches); ``write_back`` swaps in the
-    write-back Killi variant.  Both only apply to Killi schemes.
-    """
-    geometry = gpu_config.l2
-    if not name.startswith("killi"):
-        if scheme_config or write_back:
-            raise ValueError(
-                f"scheme_config/write_back only apply to Killi schemes, got {name!r}"
-            )
-        if name == "baseline":
-            return UnprotectedScheme()
-        if name == "dected":
-            return DectedScheme(geometry, fault_map, voltage)
-        if name == "flair":
-            return FlairScheme(geometry, fault_map, voltage)
-        if name == "msecc":
-            return MsEccScheme(geometry, fault_map, voltage)
-        raise KeyError(f"unknown scheme {name!r}")
-
-    code = None
-    if name.startswith("killi+"):
-        head, _, tail = name.partition("_1:")
-        if not tail:
-            raise KeyError(f"unknown scheme {name!r}")
-        code = head[len("killi+"):]
-        ratio = int(tail)
-    elif name.startswith("killi_1:"):
-        ratio = int(name.split(":")[1])
-    else:
-        raise KeyError(f"unknown scheme {name!r}")
-
-    config = KilliConfig(ecc_ratio=ratio, **(scheme_config or {}))
-    rng = rngs.stream(f"killi-mask/{ratio}")
-    if write_back:
-        if code is not None:
-            raise ValueError("write-back strong-code Killi is not modelled")
-        return KilliWriteBackScheme(geometry, fault_map, voltage, config, rng=rng)
-    if code is not None:
-        from repro.core.strong import KilliStrongScheme
-
-        return KilliStrongScheme(
-            geometry, fault_map, voltage, config, rng=rng, code=code
-        )
-    return KilliScheme(geometry, fault_map, voltage, config, rng=rng)
 
 
 # -- memoised deterministic inputs -------------------------------------------
@@ -171,14 +98,18 @@ def trace_for(workload: str, accesses_per_cu: int, n_cus: int, seed: int):
 
 @dataclass(frozen=True)
 class CellSpec:
-    """One independent experiment cell.
+    """One independent experiment cell (compatibility shim).
 
-    The tuple (workload, scheme, voltage, seed, accesses_per_cu,
-    scheme_config, write_back) fully determines the simulation via
-    named RNG streams; ``engine`` picks the inner loop and
-    ``substrate`` the tag/LRU backing, but neither changes the numbers
-    (all combinations are pinned bit-equivalent), so both are excluded
-    from the cache fingerprint.
+    The typed schema now lives in
+    :class:`~repro.scenario.config.ScenarioConfig`; ``CellSpec`` keeps
+    the historical flat call shape and delegates normalisation and
+    fingerprinting to its scenario projection, so the two construction
+    paths can never drift apart.  The tuple (workload, scheme, voltage,
+    seed, accesses_per_cu, scheme_config, write_back) fully determines
+    the simulation via named RNG streams; ``engine`` picks the inner
+    loop and ``substrate`` the tag/LRU backing, but neither changes the
+    numbers (all combinations are pinned bit-equivalent), so both are
+    excluded from the cache fingerprint.
     """
 
     workload: str
@@ -206,14 +137,18 @@ class CellSpec:
     def scheme_overrides(self) -> dict:
         return dict(self.scheme_config)
 
+    def to_scenario(self) -> ScenarioConfig:
+        """The typed scenario equivalent of this cell."""
+        return ScenarioConfig.from_cell_spec(self)
+
     def fingerprint(self) -> str:
-        """Stable content key for the on-disk result cache."""
-        payload = asdict(self)
-        del payload["engine"]  # engines are bit-equivalent
-        del payload["substrate"]  # substrates are bit-equivalent
-        payload["schema"] = SCHEMA_VERSION
-        blob = json.dumps(payload, sort_keys=True, default=str)
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        """Stable content key for the on-disk result cache.
+
+        Delegates to the scenario's canonical fingerprint, which is
+        byte-compatible with the payload this class used to hash —
+        pre-existing result caches stay warm.
+        """
+        return self.to_scenario().fingerprint()
 
 
 @dataclass
@@ -274,33 +209,44 @@ class CellResult:
 # -- cell execution -----------------------------------------------------------
 
 
-def run_cell(spec: CellSpec) -> CellResult:
+def run_cell(spec) -> CellResult:
     """Execute one cell: fresh GPU, deterministic inputs, full metrics.
 
-    Pure function of ``spec``: reproduces exactly what the serial
-    Figure 4/5 loop computed for the same (workload, scheme, voltage,
-    seed) — same fault-map stream, same trace stream, same per-cell
-    scheme RNG namespace.
+    ``spec`` may be a legacy :class:`CellSpec` or a
+    :class:`~repro.scenario.config.ScenarioConfig`; both normalise to
+    the same scenario and produce bit-identical results.  Pure function
+    of ``spec``: reproduces exactly what the serial Figure 4/5 loop
+    computed for the same (workload, scheme, voltage, seed) — same
+    fault-map stream, same trace stream, same per-cell scheme RNG
+    namespace.
     """
-    gpu_config = GpuConfig()
-    fault_map = fault_map_for(gpu_config.l2.n_lines, spec.seed)
+    scenario = as_scenario(spec)
+    workload = scenario.workload.name
+    scheme_name = scenario.scheme.name
+    voltage = scenario.fault.voltage
+    seed = scenario.fault.seed
+    gpu_config = scenario.gpu.to_gpu_config()
+    fault_map = fault_map_for(gpu_config.l2.n_lines, seed)
     trace = trace_for(
-        spec.workload, spec.accesses_per_cu, gpu_config.n_cus, spec.seed
+        workload, scenario.workload.accesses_per_cu, gpu_config.n_cus, seed
     )
-    rngs = RngFactory(spec.seed).child(f"{spec.workload}/{spec.scheme}")
+    rngs = RngFactory(seed).child(f"{workload}/{scheme_name}")
     scheme = make_scheme(
-        spec.scheme,
+        scheme_name,
         gpu_config,
         fault_map,
-        spec.voltage,
+        voltage,
         rngs,
-        scheme_config=spec.scheme_overrides or None,
-        write_back=spec.write_back,
+        scheme_config=scenario.scheme.overrides or None,
+        write_back=scenario.scheme.write_back,
     )
     simulator = GpuSimulator(
-        gpu_config, scheme, engine=spec.engine, substrate=spec.substrate
+        gpu_config,
+        scheme,
+        engine=scenario.engine.engine,
+        substrate=scenario.engine.substrate,
     )
-    if spec.write_back:
+    if scenario.scheme.write_back:
         simulator.l2 = WriteBackCache(
             gpu_config.l2,
             scheme,
@@ -314,10 +260,10 @@ def run_cell(spec: CellSpec) -> CellResult:
 
     dfh = scheme.dfh_histogram() if hasattr(scheme, "dfh_histogram") else None
     return CellResult(
-        workload=spec.workload,
-        scheme=spec.scheme,
-        voltage=spec.voltage,
-        seed=spec.seed,
+        workload=workload,
+        scheme=scheme_name,
+        voltage=voltage,
+        seed=seed,
         cycles=result.cycles,
         instructions=result.instructions,
         l2=result.l2_stats.as_dict(),
@@ -332,20 +278,20 @@ def run_cell(spec: CellSpec) -> CellResult:
         dfh=dfh,
         dfh_lines=len(scheme.dfh) if hasattr(scheme, "dfh") else 0,
         elapsed_s=elapsed,
-        fingerprint=spec.fingerprint(),
+        fingerprint=scenario.fingerprint(),
     )
 
 
 # -- on-disk result cache ------------------------------------------------------
 
 
-def _cache_path(cache_dir: str, spec: CellSpec) -> str:
-    return os.path.join(cache_dir, f"{spec.fingerprint()}.json")
+def _cache_path(cache_dir: str, scenario: ScenarioConfig) -> str:
+    return os.path.join(cache_dir, f"{scenario.fingerprint()}.json")
 
 
-def _load_cached(cache_dir: str, spec: CellSpec) -> Optional[CellResult]:
+def _load_cached(cache_dir: str, scenario: ScenarioConfig) -> Optional[CellResult]:
     """Load a cached result; None on miss or any corruption."""
-    path = _cache_path(cache_dir, spec)
+    path = _cache_path(cache_dir, scenario)
     try:
         with open(path) as handle:
             payload = json.load(handle)
@@ -358,19 +304,21 @@ def _load_cached(cache_dir: str, spec: CellSpec) -> Optional[CellResult]:
     return result
 
 
-def _store_cached(cache_dir: str, spec: CellSpec, result: CellResult) -> None:
+def _store_cached(
+    cache_dir: str, scenario: ScenarioConfig, result: CellResult
+) -> None:
     """Atomically persist a result (rename tolerates parallel writers)."""
     os.makedirs(cache_dir, exist_ok=True)
     payload = {
         "schema": SCHEMA_VERSION,
-        "spec": asdict(spec),
+        "spec": scenario.to_dict(),
         "result": result.to_dict(),
     }
     fd, tmp_path = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as handle:
             json.dump(payload, handle)
-        os.replace(tmp_path, _cache_path(cache_dir, spec))
+        os.replace(tmp_path, _cache_path(cache_dir, scenario))
     except OSError:
         try:
             os.unlink(tmp_path)
@@ -384,7 +332,7 @@ ProgressFn = Callable[[int, int, CellResult], None]
 
 
 def run_cells(
-    specs: Iterable[CellSpec],
+    specs: Iterable,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
@@ -394,7 +342,9 @@ def run_cells(
     Parameters
     ----------
     specs:
-        Cells to run.  Results come back in the same order.
+        Cells to run — legacy :class:`CellSpec` objects,
+        :class:`~repro.scenario.config.ScenarioConfig` scenarios, or a
+        mix.  Results come back in the same order.
     jobs:
         Worker processes; ``1`` runs in-process (no pool).  Results
         are bit-identical either way.
@@ -406,14 +356,14 @@ def run_cells(
         ``progress(done, total, result)`` called after every cell
         (cached hits included), in completion order.
     """
-    specs = list(specs)
-    total = len(specs)
+    scenarios = [as_scenario(spec) for spec in specs]
+    total = len(scenarios)
     results: List[Optional[CellResult]] = [None] * total
     done = 0
 
     pending: List[int] = []
-    for index, spec in enumerate(specs):
-        cached = _load_cached(cache_dir, spec) if cache_dir else None
+    for index, scenario in enumerate(scenarios):
+        cached = _load_cached(cache_dir, scenario) if cache_dir else None
         if cached is not None:
             results[index] = cached
             done += 1
@@ -425,26 +375,27 @@ def run_cells(
     if pending and jobs > 1 and len(pending) > 1:
         # Warm the shared fault maps before forking so workers inherit
         # them (copy-on-write) instead of each resampling the chip.
-        gpu_config = GpuConfig()
-        for seed in {specs[i].seed for i in pending}:
-            fault_map_for(gpu_config.l2.n_lines, seed)
+        for gpu, seed in {
+            (scenarios[i].gpu, scenarios[i].fault.seed) for i in pending
+        }:
+            fault_map_for(gpu.to_gpu_config().l2.n_lines, seed)
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {pool.submit(run_cell, specs[i]): i for i in pending}
+            futures = {pool.submit(run_cell, scenarios[i]): i for i in pending}
             for future in as_completed(futures):
                 index = futures[future]
                 result = future.result()
                 results[index] = result
                 if cache_dir:
-                    _store_cached(cache_dir, specs[index], result)
+                    _store_cached(cache_dir, scenarios[index], result)
                 done += 1
                 if progress:
                     progress(done, total, result)
     else:
         for index in pending:
-            result = run_cell(specs[index])
+            result = run_cell(scenarios[index])
             results[index] = result
             if cache_dir:
-                _store_cached(cache_dir, specs[index], result)
+                _store_cached(cache_dir, scenarios[index], result)
             done += 1
             if progress:
                 progress(done, total, result)

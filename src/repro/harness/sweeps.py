@@ -16,7 +16,8 @@ from typing import Dict, Iterable, Optional
 
 from repro.analysis.power import PowerModel
 from repro.gpu import GpuConfig
-from repro.harness.runner import CellSpec, fault_map_for, run_cells
+from repro.harness.runner import fault_map_for, run_cells
+from repro.scenario.config import cell_scenario
 
 __all__ = ["voltage_sweep"]
 
@@ -48,17 +49,17 @@ def voltage_sweep(
 
     scheme = f"killi_1:{ecc_ratio}"
     specs = [
-        CellSpec(
-            workload=workload,
-            scheme="baseline",
+        cell_scenario(
+            workload,
+            "baseline",
             voltage=fault_map.floor_voltage,
             seed=seed,
             accesses_per_cu=accesses_per_cu,
         )
     ] + [
-        CellSpec(
-            workload=workload,
-            scheme=scheme,
+        cell_scenario(
+            workload,
+            scheme,
             voltage=voltage,
             seed=seed,
             accesses_per_cu=accesses_per_cu,

@@ -29,11 +29,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines import FlairScheme
 from repro.cache.protection import UnprotectedScheme
-from repro.core import KilliConfig, KilliScheme
+from repro.core import KilliConfig
 from repro.faults import FaultMap
 from repro.gpu import GpuConfig, GpuSimulator
+from repro.scenario.schemes import resolve_scheme
 from repro.traces import workload_trace
 from repro.utils.rng import RngFactory
 
@@ -62,13 +62,30 @@ def power_transition_experiment(
     voltage: float = 0.625,
     seed: int = 42,
     mbist_cycles_per_line: int = MBIST_CYCLES_PER_LINE,
+    killi_scheme_name: str = "killi_1:64",
+    mbist_scheme_name: str = "flair",
 ) -> dict:
     """Run the transition scenario for Killi vs an MBIST-based scheme.
 
     The workload is split into ``n_transitions + 1`` phases; between
     phases the L2 enters/leaves the LV state.  Both strategies execute
-    identical traffic; they differ in what a transition costs.
+    identical traffic; they differ in what a transition costs.  The
+    contenders are experiment-axis scheme names resolved through the
+    registry: any Killi-family name for the transition-free side, any
+    oracle (MBIST-trained) scheme for the stalling side.
     """
+    killi_factory = resolve_scheme(killi_scheme_name)
+    if killi_factory.kind != "killi":
+        raise ValueError(
+            f"killi_scheme_name must be a Killi-family scheme, "
+            f"got {killi_scheme_name!r} ({killi_factory.kind})"
+        )
+    mbist_factory = resolve_scheme(mbist_scheme_name)
+    if mbist_factory.kind != "oracle":
+        raise ValueError(
+            f"mbist_scheme_name must be an MBIST-trained (oracle) scheme, "
+            f"got {mbist_scheme_name!r} ({mbist_factory.kind})"
+        )
     rngs = RngFactory(seed)
     gpu_config = GpuConfig()
     fault_map = FaultMap(n_lines=gpu_config.l2.n_lines, rng=rngs.stream("fault-map"))
@@ -85,9 +102,12 @@ def power_transition_experiment(
     reference_cycles = sum(r.cycles for r in reference.run_kernels(phases))
 
     # Killi: each transition is a DFH reset; execution continues.
-    killi_scheme = KilliScheme(
-        gpu_config.l2, fault_map, voltage, KilliConfig(ecc_ratio=64),
-        rng=rngs.stream("mask"),
+    killi_config = KilliConfig(ecc_ratio=killi_factory.params["ecc_ratio"])
+    killi_kwargs = {"rng": rngs.stream("mask")}
+    if killi_factory.params.get("code") is not None:
+        killi_kwargs["code"] = killi_factory.params["code"]
+    killi_scheme = killi_factory.scheme_class(
+        gpu_config.l2, fault_map, voltage, killi_config, **killi_kwargs
     )
     killi_sim = GpuSimulator(gpu_config, killi_scheme)
     killi_cycles = 0
@@ -96,18 +116,20 @@ def power_transition_experiment(
             killi_scheme.change_voltage(voltage)  # reset + relearn
         killi_cycles += killi_sim.run(phase).cycles
     killi = TransitionResult(
-        strategy="killi",
+        strategy=(
+            "killi" if killi_scheme_name == "killi_1:64" else killi_scheme_name
+        ),
         total_cycles=killi_cycles,
         stall_cycles=0,
         execution_cycles=killi_cycles,
         l2_misses=killi_sim.l2.stats.misses,
     )
 
-    # MBIST-based (FLAIR): each transition stalls for the MBIST pass
-    # and restarts the cache cold; execution then proceeds with the
-    # oracle fault map.
+    # MBIST-based (FLAIR-style): each transition stalls for the MBIST
+    # pass and restarts the cache cold; execution then proceeds with
+    # the oracle fault map.
     mbist_stall = gpu_config.l2.n_lines * mbist_cycles_per_line
-    flair_scheme = FlairScheme(gpu_config.l2, fault_map, voltage)
+    flair_scheme = mbist_factory.scheme_class(gpu_config.l2, fault_map, voltage)
     flair_sim = GpuSimulator(gpu_config, flair_scheme)
     flair_cycles = 0
     stall_total = 0
@@ -117,7 +139,7 @@ def power_transition_experiment(
             stall_total += mbist_stall
         flair_cycles += flair_sim.run(phase).cycles
     flair = TransitionResult(
-        strategy="flair+mbist",
+        strategy=f"{mbist_scheme_name}+mbist",
         total_cycles=flair_cycles + stall_total,
         stall_cycles=stall_total,
         execution_cycles=flair_cycles,

@@ -24,16 +24,39 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.scenario.registries import WORKLOAD_REGISTRY
 from repro.traces.base import Trace
 from repro.traces.generators import WorkloadSpec, generate_trace
 
-__all__ = ["WORKLOADS", "workload_names", "workload_trace"]
+__all__ = [
+    "WORKLOADS",
+    "register_workload",
+    "workload_names",
+    "workload_trace",
+]
 
 _MB = 1024 * 1024
 
-WORKLOADS: Dict[str, WorkloadSpec] = {
-    spec.name: spec
-    for spec in [
+#: name -> spec, in the figures' display order.  Populated through
+#: :func:`register_workload`, which also places each generator in
+#: :data:`repro.scenario.registries.WORKLOAD_REGISTRY` — the axis the
+#: scenario layer (and any third-party workload plugin) resolves.
+WORKLOADS: Dict[str, WorkloadSpec] = {}
+
+
+def register_workload(spec: WorkloadSpec) -> WorkloadSpec:
+    """Register a workload generator under ``spec.name``.
+
+    Third-party workloads call this (or ``WORKLOAD_REGISTRY.register``
+    directly with a ``(name, accesses_per_cu, n_cus, rng) -> Trace``
+    callable) to become addressable from scenarios and the CLI.
+    """
+    WORKLOAD_REGISTRY.register(spec.name, spec)
+    WORKLOADS[spec.name] = spec
+    return spec
+
+
+_BUILTIN_SPECS = [
         WorkloadSpec(
             name="xsbench",
             footprint_bytes=int(2.4 * _MB),
@@ -135,12 +158,15 @@ WORKLOADS: Dict[str, WorkloadSpec] = {
             description="adaptive mesh refinement blocks around L2 capacity",
         ),
     ]
-}
+
+for _spec in _BUILTIN_SPECS:
+    register_workload(_spec)
+del _spec
 
 
 def workload_names() -> List[str]:
-    """The ten workload names in the figures' display order."""
-    return list(WORKLOADS)
+    """All registered workload names, built-ins first in display order."""
+    return WORKLOAD_REGISTRY.names()
 
 
 def workload_trace(
@@ -151,7 +177,9 @@ def workload_trace(
 ) -> Trace:
     """Generate the named workload's trace."""
     try:
-        spec = WORKLOADS[name]
+        entry = WORKLOAD_REGISTRY.resolve(name)
     except KeyError:
         raise KeyError(f"unknown workload {name!r}; known: {workload_names()}") from None
-    return generate_trace(spec, accesses_per_cu, n_cus=n_cus, rng=rng)
+    if isinstance(entry, WorkloadSpec):
+        return generate_trace(entry, accesses_per_cu, n_cus=n_cus, rng=rng)
+    return entry(name, accesses_per_cu, n_cus, rng)

@@ -1,0 +1,197 @@
+"""Scenario files: loading, expansion, equivalence with the legacy path."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.cli import main as cli_main
+from repro.harness.runner import CellSpec, run_cell, run_cells
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.runfile import (
+    Scenario,
+    ScenarioMatrix,
+    load_scenario,
+    run_scenario,
+    scenario_fingerprint,
+)
+
+EXAMPLES = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "examples",
+    "scenarios",
+)
+
+
+def example_files():
+    return sorted(
+        os.path.join(EXAMPLES, name)
+        for name in os.listdir(EXAMPLES)
+        if name.endswith((".toml", ".json"))
+    )
+
+
+class TestCommittedExamples:
+    def test_examples_exist(self):
+        assert len(example_files()) >= 4
+
+    @pytest.mark.parametrize(
+        "path", example_files(), ids=[os.path.basename(p) for p in example_files()]
+    )
+    def test_example_validates_and_round_trips(self, path):
+        scenario = load_scenario(path)
+        cells = scenario.validate()
+        assert cells
+        # to_dict -> from_dict is the identity on the expansion.
+        reloaded = Scenario.from_dict(
+            json.loads(json.dumps(scenario.to_dict())), source=path
+        )
+        assert reloaded.fingerprint() == scenario.fingerprint()
+
+
+class TestExpansion:
+    def test_cross_product_is_workload_major(self):
+        scenario = Scenario(
+            name="x",
+            matrix=ScenarioMatrix(
+                workloads=("a", "b"), schemes=("s1", "s2"), seeds=(1, 2)
+            ),
+        )
+        cells = scenario.expand()
+        assert len(cells) == 8
+        order = [
+            (c.workload.name, c.scheme.name, c.fault.seed) for c in cells[:3]
+        ]
+        assert order == [("a", "s1", 1), ("a", "s1", 2), ("a", "s2", 1)]
+
+    def test_empty_axes_use_the_base_value(self):
+        scenario = Scenario(name="x")
+        (cell,) = scenario.expand()
+        assert cell == scenario.base
+
+    def test_fingerprint_is_axis_order_independent(self):
+        forward = Scenario(
+            name="x", matrix=ScenarioMatrix(workloads=("a", "b"))
+        )
+        backward = Scenario(
+            name="x", matrix=ScenarioMatrix(workloads=("b", "a"))
+        )
+        assert forward.fingerprint() == backward.fingerprint()
+        assert scenario_fingerprint(forward.expand()) == scenario_fingerprint(
+            backward.expand()
+        )
+
+    def test_unknown_matrix_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            Scenario.from_dict(
+                {"name": "x", "matrix": {"voltage": [0.6]}}, source="t"
+            )
+
+    def test_name_required(self):
+        with pytest.raises(ValueError, match="name"):
+            Scenario.from_dict({}, source="t")
+
+
+class TestEquivalence:
+    """A scenario run must be bit-identical to the legacy CellSpec run."""
+
+    def test_ci_smoke_scenario_matches_legacy_cells(self):
+        scenario = load_scenario(os.path.join(EXAMPLES, "ci_smoke.toml"))
+        via_scenario = run_cells(scenario.validate())
+        via_legacy = run_cells(
+            [
+                CellSpec(
+                    workload=cell.workload.name,
+                    scheme=cell.scheme.name,
+                    voltage=cell.fault.voltage,
+                    seed=cell.fault.seed,
+                    accesses_per_cu=cell.workload.accesses_per_cu,
+                )
+                for cell in scenario.expand()
+            ]
+        )
+        for a, b in zip(via_scenario, via_legacy):
+            assert a.cycles == b.cycles
+            assert a.instructions == b.instructions
+            assert a.l2 == b.l2
+            assert a.memory_reads == b.memory_reads
+            assert a.memory_writes == b.memory_writes
+            assert a.disabled_fraction == b.disabled_fraction
+            assert a.dfh == b.dfh
+            assert a.fingerprint == b.fingerprint
+
+    def test_run_cell_accepts_both_spec_types(self):
+        spec = CellSpec("nekbone", "killi_1:64", accesses_per_cu=300)
+        a = run_cell(spec)
+        b = run_cell(spec.to_scenario())
+        assert (a.cycles, a.l2, a.dfh) == (b.cycles, b.l2, b.dfh)
+
+    def test_result_cache_shared_between_paths(self, tmp_path):
+        spec = CellSpec("nekbone", "baseline", accesses_per_cu=300)
+        first = run_cells([spec], cache_dir=str(tmp_path))
+        second = run_cells([spec.to_scenario()], cache_dir=str(tmp_path))
+        assert not first[0].from_cache
+        assert second[0].from_cache
+        assert second[0].cycles == first[0].cycles
+
+
+class TestRunScenario:
+    def test_summary_shape_and_fingerprints(self):
+        scenario = Scenario(
+            name="tiny",
+            base=ScenarioConfig(
+                workload={"name": "nekbone", "accesses_per_cu": 300}
+            ),
+            matrix=ScenarioMatrix(schemes=("baseline",)),
+        )
+        summary = run_scenario(scenario)
+        assert summary["scenario"] == "tiny"
+        assert summary["fingerprint"] == scenario.fingerprint()
+        (cell,) = summary["cells"]
+        assert cell["scheme"] == "baseline"
+        assert cell["fingerprint"] == scenario.expand()[0].fingerprint()
+
+
+class TestCli:
+    def test_scenario_validate_and_list(self, capsys):
+        assert cli_main(["scenario", "validate"] + example_files()) == 0
+        out = capsys.readouterr().out
+        assert "FAIL" not in out
+        assert cli_main(["scenario", "list", "--dir", EXAMPLES]) == 0
+        out = capsys.readouterr().out
+        assert "ci-smoke" in out
+        assert "killi+olsc-t11_1:8" in out  # strong variants are listed
+
+    def test_scenario_validate_reports_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text('schema_version = 1\nname = "bad"\n\n[scheme]\nname = "nope"\n')
+        assert cli_main(["scenario", "validate", str(bad)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_scenario_run_writes_json(self, tmp_path, capsys):
+        out_json = tmp_path / "result.json"
+        code = cli_main([
+            "scenario", "run",
+            os.path.join(EXAMPLES, "ci_smoke.toml"),
+            "--no-progress", "--json", str(out_json),
+        ])
+        assert code == 0
+        payload = json.loads(out_json.read_text())
+        assert payload["scenario"] == "ci-smoke"
+        assert len(payload["cells"]) == 2
+        assert "ci-smoke" in capsys.readouterr().out
+
+    def test_schemes_flag_accepts_strong_variants(self, capsys):
+        code = cli_main([
+            "fig4", "--accesses", "300", "--workloads", "nekbone",
+            "--schemes", "killi+olsc-t11_1:8",
+        ])
+        assert code == 0
+        assert "killi+olsc-t11_1:8" in capsys.readouterr().out
+
+    def test_schemes_flag_rejects_unknown_scheme(self):
+        with pytest.raises(KeyError, match="nope"):
+            cli_main([
+                "fig4", "--accesses", "300", "--workloads", "nekbone",
+                "--schemes", "nope",
+            ])
