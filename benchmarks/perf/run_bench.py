@@ -45,6 +45,7 @@ from repro.faults.cell_model import CellFaultModel
 from repro.faults.fault_map import FaultMap
 from repro.gpu.config import GpuConfig
 from repro.harness.experiments import fig4_fig5_performance, fig6_coverage
+from repro.harness.metrics import METRICS
 from repro.harness.runner import LV_VOLTAGE
 from repro.scenario.config import cell_scenario
 from repro.scenario.runfile import scenario_fingerprint
@@ -327,6 +328,13 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     sizes = _FULL if args.full else _QUICK
 
+    # Telemetry rides along with every bench run: the counters/timers
+    # land in the output JSON so a BENCH file also documents cache
+    # behaviour and per-engine phase timings.  Guarded observations add
+    # a handful of perf_counter calls per kernel — far below the
+    # --fail-if-slower tolerance.
+    METRICS.enable(propagate_env=False)
+
     results = {
         "mode": "full" if args.full else "quick",
         "python": platform.python_version(),
@@ -377,6 +385,8 @@ def main(argv=None) -> int:
             f"{fig4['workloads']}x{fig4['schemes']} cells at "
             f"{fig4['accesses_per_cu']} accesses/CU"
         )
+
+    results["telemetry"] = METRICS.snapshot()
 
     if args.output:
         args.output.write_text(json.dumps(results, indent=2) + "\n")

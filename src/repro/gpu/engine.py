@@ -24,6 +24,7 @@ pins across workloads and schemes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -37,6 +38,7 @@ from repro.gpu.hierarchy import SimpleL1
 from repro.gpu.l1filter import run_l1_stream
 from repro.scenario.registries import ENGINE_REGISTRY
 from repro.traces.base import Trace
+from repro.utils.metrics import METRICS
 
 __all__ = ["ENGINES", "KernelResult", "GpuSimulator"]
 
@@ -159,7 +161,15 @@ class GpuSimulator:
         l2_before = self.l2.stats.copy()
         l1_before = [l1.stats.copy() for l1 in self.l1s]
 
+        telemetry = METRICS.enabled
+        if telemetry:
+            kernel_started = time.perf_counter()
         cycles = inner_loop(self, trace)
+        if telemetry:
+            METRICS.observe(
+                f"engine.{engine}.kernel", time.perf_counter() - kernel_started
+            )
+            METRICS.incr("engine.kernels")
 
         l2_after = self.l2.stats.copy()
         l1_after = [l1.stats.copy() for l1 in self.l1s]
@@ -278,6 +288,9 @@ class GpuSimulator:
         n_cus = self.config.n_cus
         l1_hit_latency = self.config.l1_hit_latency
 
+        telemetry = METRICS.enabled
+        if telemetry:
+            phase_started = time.perf_counter()
         addr_parts, store_parts, pos_parts, cu_parts = [], [], [], []
         base = []
         for cu, stream in enumerate(trace.streams):
@@ -299,6 +312,10 @@ class GpuSimulator:
             store_parts.append(store_np[keep])
             pos_parts.append(keep.astype(np.int64))
             cu_parts.append(np.full(len(keep), cu, dtype=np.int64))
+        if telemetry:
+            now = time.perf_counter()
+            METRICS.observe("engine.vectorized.l1_filter", now - phase_started)
+            phase_started = now
 
         latency = [0] * n_cus
         if addr_parts and sum(len(p) for p in addr_parts):
@@ -341,6 +358,10 @@ class GpuSimulator:
                     latency[cu] += l2_write(addr)
                 else:
                     latency[cu] += l2_read(addr)
+        if telemetry:
+            METRICS.observe(
+                "engine.vectorized.l2_replay", time.perf_counter() - phase_started
+            )
         return [base[cu] + latency[cu] for cu in range(n_cus)]
 
     def run_kernels(self, traces) -> list:

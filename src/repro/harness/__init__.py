@@ -24,8 +24,11 @@ from repro.harness.experiments import (
     table6_power,
     table7_olsc,
 )
+from repro.harness.journal import CellFailure, RunJournal
+from repro.harness.metrics import METRICS
 from repro.harness.results import PerfPoint, PerformanceMatrix
 from repro.harness.runner import (
+    CampaignError,
     CellResult,
     CellSpec,
     make_scheme,
@@ -35,6 +38,10 @@ from repro.harness.runner import (
 )
 
 __all__ = [
+    "CampaignError",
+    "CellFailure",
+    "RunJournal",
+    "METRICS",
     "EXPERIMENTS",
     "run_experiment",
     "make_scheme",

@@ -66,6 +66,7 @@ def _summary(cell: CellResult) -> Dict:
 def ablate_priority_replacement(
     workload: str = "fft", ecc_ratio: int = 64,
     accesses_per_cu: int = 8000, seed: int = 42, jobs: int = 1,
+    retries: int = 0, journal=None,
 ) -> Dict[str, Dict]:
     """Killi's DFH-priority victim selection on vs off."""
     labels = {"priority": True, "plain_lru": False}
@@ -76,6 +77,8 @@ def ablate_priority_replacement(
             for enabled in labels.values()
         ],
         jobs=jobs,
+        retries=retries,
+        journal=journal,
     )
     return {label: _summary(cell) for label, cell in zip(labels, cells)}
 
@@ -83,6 +86,7 @@ def ablate_priority_replacement(
 def ablate_eviction_training(
     workload: str = "fft", ecc_ratio: int = 64,
     accesses_per_cu: int = 8000, seed: int = 42, jobs: int = 1,
+    retries: int = 0, journal=None,
 ) -> Dict[str, Dict]:
     """Classify-on-evict (Section 4.4) on vs off."""
     labels = {"train_on_evict": True, "hits_only": False}
@@ -93,6 +97,8 @@ def ablate_eviction_training(
             for enabled in labels.values()
         ],
         jobs=jobs,
+        retries=retries,
+        journal=journal,
     )
     out = {}
     for label, cell in zip(labels, cells):
@@ -107,6 +113,7 @@ def ablate_eviction_training(
 def ablate_inverted_write_training(
     workload: str = "miniamr", ecc_ratio: int = 64,
     accesses_per_cu: int = 8000, seed: int = 42, jobs: int = 1,
+    retries: int = 0, journal=None,
 ) -> Dict[str, Dict]:
     """Inverted-write masked-fault mitigation (Section 5.6.2) on vs off."""
     labels = {"inverted": True, "plain": False}
@@ -117,6 +124,8 @@ def ablate_inverted_write_training(
             for enabled in labels.values()
         ],
         jobs=jobs,
+        retries=retries,
+        journal=journal,
     )
     return {label: _summary(cell) for label, cell in zip(labels, cells)}
 
@@ -124,6 +133,7 @@ def ablate_inverted_write_training(
 def ablate_ecc_ratio(
     workload: str = "fft", ratios=(256, 64, 16),
     accesses_per_cu: int = 8000, seed: int = 42, jobs: int = 1,
+    retries: int = 0, journal=None,
 ) -> Dict[str, Dict]:
     """The paper's own sweep, exposed as an ablation on one workload."""
     cells = run_cells(
@@ -132,6 +142,8 @@ def ablate_ecc_ratio(
             for ratio in ratios
         ],
         jobs=jobs,
+        retries=retries,
+        journal=journal,
     )
     return {f"1:{ratio}": _summary(cell) for ratio, cell in zip(ratios, cells)}
 

@@ -9,6 +9,13 @@ Examples::
     killi-experiment fig4 --jobs 4 --cache .killi-cache
     killi-experiment all --quick
 
+Hardened campaigns (see ``docs/campaign-robustness.md``)::
+
+    killi-experiment fig4 --jobs 8 --cache .killi-cache --retries 2 \
+        --timeout 600 --journal runs/fig4.jsonl --telemetry
+    killi-experiment fig4 --jobs 8 --cache .killi-cache \
+        --resume runs/fig4.jsonl        # recompute only unfinished cells
+
 File-driven scenario runs (see ``docs/scenario-layer.md``)::
 
     killi-experiment scenario run examples/scenarios/fig4_slice.toml
@@ -23,9 +30,92 @@ import json
 import sys
 
 from repro.harness import experiments
+from repro.harness.metrics import METRICS
+from repro.harness.runner import CampaignError
 from repro.utils.tables import format_table
 
 __all__ = ["main", "scenario_main"]
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
+    """The campaign-hardening flags shared by every simulation command."""
+    parser.add_argument(
+        "--retries", type=_nonnegative_int, default=0, metavar="N",
+        help="retry crashed/timed-out cells up to N times with jittered "
+             "backoff (default 0); retried cells are bit-identical",
+    )
+    parser.add_argument(
+        "--timeout", type=_positive_float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock budget; a timed-out attempt counts "
+             "against --retries",
+    )
+    parser.add_argument(
+        "--journal", metavar="FILE", default=None,
+        help="append one JSONL event per cell (plus campaign start/end) "
+             "to FILE; makes the run resumable via --resume",
+    )
+    parser.add_argument(
+        "--resume", metavar="JOURNAL", default=None,
+        help="skip cells a previous run's journal records as finished "
+             "(their results replay from --cache; requires --cache)",
+    )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="collect counters/timers across the campaign (cache, "
+             "retries, engine phases) and print a summary table",
+    )
+
+
+def _finish_telemetry(args) -> None:
+    if getattr(args, "telemetry", False):
+        print()
+        print(METRICS.summary_table())
+
+
+def _report_campaign_failure(error: CampaignError) -> None:
+    print(f"campaign failed: {error}", file=sys.stderr)
+    rows = [
+        (f.index, f.fingerprint[:12], f.attempts, f.error_type, f.message[:60])
+        for f in error.failures
+    ]
+    print(
+        format_table(
+            ["cell", "fingerprint", "attempts", "error", "message"],
+            rows,
+            title="permanently failed cells",
+        ),
+        file=sys.stderr,
+    )
 
 
 def _progress_printer(args):
@@ -71,6 +161,10 @@ def _run_perf(args) -> None:
         jobs=args.jobs,
         cache_dir=args.cache,
         progress=_progress_printer(args),
+        retries=args.retries,
+        timeout=args.timeout,
+        journal=args.journal,
+        resume=args.resume,
     )
     print(matrix.fig4_table())
     print()
@@ -123,6 +217,10 @@ def _run_sec55(args) -> None:
         accesses_per_cu=min(args.accesses, 8000),
         jobs=args.jobs,
         cache_dir=args.cache,
+        retries=args.retries,
+        timeout=args.timeout,
+        journal=args.journal,
+        resume=args.resume,
     )
     rows = []
     for key in ("baseline", "msecc", "killi_secded_1:8", "killi_olsc_1:8"):
@@ -185,6 +283,8 @@ def _export_csv(args) -> None:
             seed=args.seed,
             jobs=args.jobs,
             cache_dir=args.cache,
+            retries=args.retries,
+            timeout=args.timeout,
         )
         write_csv(path("fig4_fig5"), matrix_to_csv(matrix))
     print(f"CSV written under {args.csv}/")
@@ -205,13 +305,24 @@ def _scenario_progress(done, total, cell):
 def _scenario_run(args) -> int:
     from repro.scenario.runfile import load_scenario, run_scenario
 
+    if args.telemetry:
+        METRICS.enable()
     scenario = load_scenario(args.file)
-    summary = run_scenario(
-        scenario,
-        jobs=args.jobs,
-        cache_dir=args.cache,
-        progress=_scenario_progress if not args.no_progress else None,
-    )
+    try:
+        summary = run_scenario(
+            scenario,
+            jobs=args.jobs,
+            cache_dir=args.cache,
+            progress=_scenario_progress if not args.no_progress else None,
+            retries=args.retries,
+            timeout=args.timeout,
+            journal=args.journal,
+            resume=args.resume,
+        )
+    except CampaignError as error:
+        _report_campaign_failure(error)
+        _finish_telemetry(args)
+        return 1
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2)
@@ -236,6 +347,7 @@ def _scenario_run(args) -> int:
         rows,
         title=title,
     ))
+    _finish_telemetry(args)
     return 0
 
 
@@ -313,7 +425,7 @@ def scenario_main(argv=None) -> int:
 
     run_p = sub.add_parser("run", help="execute a scenario file")
     run_p.add_argument("file", help="scenario .toml/.json file")
-    run_p.add_argument("--jobs", type=int, default=1, metavar="N")
+    run_p.add_argument("--jobs", type=_positive_int, default=1, metavar="N")
     run_p.add_argument(
         "--cache", metavar="DIR", default=None,
         help="fingerprint-keyed on-disk result cache",
@@ -323,6 +435,7 @@ def scenario_main(argv=None) -> int:
         help="also write the full per-cell results as JSON",
     )
     run_p.add_argument("--no-progress", action="store_true")
+    _add_campaign_args(run_p)
 
     val_p = sub.add_parser("validate", help="validate scenario files")
     val_p.add_argument("files", nargs="+", help="scenario .toml/.json files")
@@ -370,7 +483,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
+        "--jobs", type=_positive_int, default=1, metavar="N",
         help="worker processes for simulation matrices (default 1: serial; "
              "results are bit-identical at any N)",
     )
@@ -379,6 +492,7 @@ def main(argv=None) -> int:
         help="on-disk result cache: unchanged (workload, scheme, voltage, "
              "seed) cells are re-loaded instead of re-simulated",
     )
+    _add_campaign_args(parser)
     parser.add_argument(
         "--quick", action="store_true",
         help="shrink simulation experiments (5000 accesses per CU)",
@@ -390,29 +504,37 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.quick:
         args.accesses = 5000
-    if args.csv:
-        _export_csv(args)
+    if args.telemetry:
+        METRICS.enable()
+    try:
+        if args.csv:
+            _export_csv(args)
 
-    analytic = {
-        "fig1": _run_fig1,
-        "fig2": _run_fig2,
-        "fig6": _run_fig6,
-        "table4": _run_table4,
-        "table5": _run_table5,
-        "table6": _run_table6,
-        "table7": _run_table7,
-    }
-    if args.experiment in ("fig4", "fig5"):
-        _run_perf(args)
-    elif args.experiment == "sec55":
-        _run_sec55(args)
-    elif args.experiment == "all":
-        for runner in analytic.values():
-            runner()
-            print()
-        _run_perf(args)
-    else:
-        analytic[args.experiment]()
+        analytic = {
+            "fig1": _run_fig1,
+            "fig2": _run_fig2,
+            "fig6": _run_fig6,
+            "table4": _run_table4,
+            "table5": _run_table5,
+            "table6": _run_table6,
+            "table7": _run_table7,
+        }
+        if args.experiment in ("fig4", "fig5"):
+            _run_perf(args)
+        elif args.experiment == "sec55":
+            _run_sec55(args)
+        elif args.experiment == "all":
+            for runner in analytic.values():
+                runner()
+                print()
+            _run_perf(args)
+        else:
+            analytic[args.experiment]()
+    except CampaignError as error:
+        _report_campaign_failure(error)
+        _finish_telemetry(args)
+        return 1
+    _finish_telemetry(args)
     return 0
 
 

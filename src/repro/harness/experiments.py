@@ -102,6 +102,10 @@ def fig4_fig5_performance(
     progress=None,
     engine: str = "vectorized",
     substrate: Optional[str] = None,
+    retries: int = 0,
+    timeout: Optional[float] = None,
+    journal=None,
+    resume=None,
 ) -> PerformanceMatrix:
     """Run the Figure 4/5 (workload x scheme) simulation matrix.
 
@@ -111,7 +115,9 @@ def fig4_fig5_performance(
     enables the on-disk result cache, and both are bit-identical to
     the serial uncached run.  ``engine`` and ``substrate`` pick the
     inner loop and the tag/LRU backing; every combination is pinned
-    bit-equivalent, so neither changes the numbers.
+    bit-equivalent, so neither changes the numbers.  ``retries``,
+    ``timeout``, ``journal`` and ``resume`` are the campaign-hardening
+    knobs of :func:`~repro.harness.runner.run_cells`.
     """
     workloads = list(workloads) if workloads is not None else workload_names()
     schemes = list(schemes) if schemes is not None else scheme_names()
@@ -133,7 +139,17 @@ def fig4_fig5_performance(
         for scheme in schemes
     ]
     matrix = PerformanceMatrix()
-    for cell in run_cells(specs, jobs=jobs, cache_dir=cache_dir, progress=progress):
+    cells = run_cells(
+        specs,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        progress=progress,
+        retries=retries,
+        timeout=timeout,
+        journal=journal,
+        resume=resume,
+    )
+    for cell in cells:
         matrix.add(cell.to_perf_point())
     return matrix
 
@@ -234,6 +250,10 @@ def sec55_lower_vmin(
     seed: int = 42,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    retries: int = 0,
+    timeout: Optional[float] = None,
+    journal=None,
+    resume=None,
 ) -> dict:
     """Section 5.5: Killi with OLSC vs MS-ECC below the SECDED Vmin.
 
@@ -259,7 +279,15 @@ def sec55_lower_vmin(
         )
         for scheme in key_to_scheme.values()
     ]
-    cells = run_cells(specs, jobs=jobs, cache_dir=cache_dir)
+    cells = run_cells(
+        specs,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        retries=retries,
+        timeout=timeout,
+        journal=journal,
+        resume=resume,
+    )
 
     out = {"voltage": voltage, "workload": workload}
     for key, cell in zip(key_to_scheme, cells):

@@ -1,0 +1,121 @@
+"""Deterministic worker-fault injection for campaign-robustness tests.
+
+The retry/isolation machinery in :func:`repro.harness.runner.run_cells`
+needs crashes to test against, but :func:`run_cell` is a pure function
+of its spec — results must never depend on the environment.  So faults
+are injected *around* the cell, in the runner's execution wrapper,
+driven entirely by the ``REPRO_INJECT_FAULTS`` environment variable:
+
+    REPRO_INJECT_FAULTS="times=1,dir=.inject"            # every cell's
+                                                         # 1st attempt raises
+    REPRO_INJECT_FAULTS="times=2,dir=.inject,match=lulesh"  # only cells whose
+                                                            # fingerprint or
+                                                            # workload/scheme
+                                                            # label matches
+    REPRO_INJECT_FAULTS="times=1,dir=.inject,mode=kill"  # hard-kill the
+                                                         # worker process
+    REPRO_INJECT_FAULTS="times=1,dir=.inject,mode=hang,hang_s=30"
+
+``dir`` is a state directory holding one ``<fingerprint>.attempts``
+counter file per cell, so the "fail the first N attempts, then
+succeed" contract holds across worker processes and pool rebuilds.
+The runner dedupes cells by fingerprint (one in-flight execution per
+fingerprint), so counter files are never written concurrently.
+
+Because injection fires *before* the simulation and the retried cell
+then runs clean, a campaign that survives injection produces results
+bit-identical to an uninjected run — which is exactly what the
+crash-injection tests and the CI ``campaign-robustness`` job assert.
+
+When ``REPRO_INJECT_FAULTS`` is unset (production), the hook is a
+single dictionary lookup.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+__all__ = ["INJECT_ENV", "InjectedWorkerFault", "maybe_inject"]
+
+#: Environment variable holding the injection spec.
+INJECT_ENV = "REPRO_INJECT_FAULTS"
+
+_MODES = ("raise", "hang", "kill")
+
+
+class InjectedWorkerFault(RuntimeError):
+    """The synthetic failure raised by ``mode=raise`` injection."""
+
+
+def _parse(raw: str) -> dict:
+    cfg = {"times": 1, "dir": None, "match": "", "mode": "raise", "hang_s": 30.0}
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep or key not in cfg:
+            raise ValueError(
+                f"{INJECT_ENV}: bad field {part!r}; expected "
+                f"key=value with key in {sorted(cfg)}"
+            )
+        if key == "times":
+            cfg["times"] = int(value)
+        elif key == "hang_s":
+            cfg["hang_s"] = float(value)
+        else:
+            cfg[key] = value
+    if not cfg["dir"]:
+        raise ValueError(f"{INJECT_ENV}: a dir=<state directory> field is required")
+    if cfg["mode"] not in _MODES:
+        raise ValueError(
+            f"{INJECT_ENV}: unknown mode {cfg['mode']!r}; expected one of {_MODES}"
+        )
+    return cfg
+
+
+def maybe_inject(fingerprint: str, label: str = "") -> None:
+    """Fail this execution attempt if the environment says so.
+
+    Called by the runner's per-attempt wrapper (never by ``run_cell``
+    itself).  ``match=`` substrings are tested against the fingerprint
+    *and* the optional human-readable ``label`` (the runner passes
+    ``"<workload>/<scheme>"``), so a test can target e.g.
+    ``match=baseline`` without knowing the hash.  Each call for a
+    matching cell increments that cell's attempt counter; the first
+    ``times`` attempts fail in the configured ``mode``:
+
+    - ``raise`` — raise :class:`InjectedWorkerFault` (a plain worker
+      exception; exercises per-cell isolation + retry),
+    - ``kill`` — ``os._exit`` the process (exercises
+      ``BrokenProcessPool`` recovery and pool rebuild),
+    - ``hang`` — sleep ``hang_s`` seconds (exercises ``--timeout``).
+    """
+    raw = os.environ.get(INJECT_ENV)
+    if not raw:
+        return
+    cfg = _parse(raw)
+    if cfg["match"] and cfg["match"] not in fingerprint and cfg["match"] not in label:
+        return
+    os.makedirs(cfg["dir"], exist_ok=True)
+    counter = os.path.join(cfg["dir"], f"{fingerprint}.attempts")
+    try:
+        with open(counter, encoding="utf-8") as handle:
+            count = int(handle.read().strip() or 0)
+    except (OSError, ValueError):
+        count = 0
+    count += 1
+    with open(counter, "w", encoding="utf-8") as handle:
+        handle.write(str(count))
+    if count > cfg["times"]:
+        return
+    if cfg["mode"] == "kill":
+        os._exit(17)
+    if cfg["mode"] == "hang":
+        time.sleep(cfg["hang_s"])
+        return
+    raise InjectedWorkerFault(
+        f"injected worker fault (attempt {count}/{cfg['times']}) "
+        f"for cell {fingerprint[:12]}"
+    )

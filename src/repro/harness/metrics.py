@@ -1,0 +1,19 @@
+"""Telemetry facade for the experiment harness.
+
+The implementation lives in :mod:`repro.utils.metrics` so that lower
+layers (the GPU engine's phase timers, the result-cache path) can
+record into the same process-wide sink without importing the harness
+package; this module is the harness-level name campaigns and the CLI
+use.
+
+Counters and timers recorded by the built-in instrumentation are
+documented in ``docs/campaign-robustness.md``.  Everything is off by
+default; enable with ``METRICS.enable()``, the ``--telemetry`` CLI
+flag, or the ``REPRO_TELEMETRY`` environment variable.
+"""
+
+from __future__ import annotations
+
+from repro.utils.metrics import METRICS, Metrics, TELEMETRY_ENV
+
+__all__ = ["Metrics", "METRICS", "TELEMETRY_ENV"]

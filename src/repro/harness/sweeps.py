@@ -30,12 +30,18 @@ def voltage_sweep(
     seed: int = 42,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    retries: int = 0,
+    timeout: Optional[float] = None,
+    journal=None,
+    resume=None,
 ) -> Dict[float, Dict]:
     """Killi's overhead/capacity/power across operating voltages.
 
     Returns ``{voltage: {"normalized_time", "mpki", "disabled_fraction",
     "power_pct"}}``.  Voltages below the fault-map floor are rejected
-    with :class:`ValueError` before any simulation runs.
+    with :class:`ValueError` before any simulation runs.  ``retries``,
+    ``timeout``, ``journal`` and ``resume`` pass through to the
+    fault-tolerant campaign runner.
     """
     voltages = list(voltages)
     gpu_config = GpuConfig()
@@ -66,7 +72,15 @@ def voltage_sweep(
         )
         for voltage in voltages
     ]
-    cells = run_cells(specs, jobs=jobs, cache_dir=cache_dir)
+    cells = run_cells(
+        specs,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        retries=retries,
+        timeout=timeout,
+        journal=journal,
+        resume=resume,
+    )
     baseline, killi_cells = cells[0], cells[1:]
     power_model = PowerModel()
 

@@ -1,0 +1,142 @@
+"""Tests for the telemetry counters/timers facade."""
+
+import os
+
+import pytest
+
+from repro.utils.metrics import METRICS, TELEMETRY_ENV, Metrics
+
+
+@pytest.fixture
+def metrics(monkeypatch):
+    """A fresh, enabled Metrics instance; env var left untouched."""
+    monkeypatch.delenv(TELEMETRY_ENV, raising=False)
+    m = Metrics(enabled=True)
+    return m
+
+
+class TestDisabled:
+    def test_disabled_records_nothing(self):
+        m = Metrics(enabled=False)
+        m.incr("a")
+        m.observe("t", 0.5)
+        with m.timer("t2"):
+            pass
+        assert m.counters == {}
+        assert m.timers == {}
+
+    def test_disabled_timer_is_shared_noop(self):
+        m = Metrics(enabled=False)
+        assert m.timer("a") is m.timer("b")
+
+    def test_env_var_enables_at_construction(self, monkeypatch):
+        monkeypatch.setenv(TELEMETRY_ENV, "1")
+        assert Metrics().enabled
+        monkeypatch.setenv(TELEMETRY_ENV, "0")
+        assert not Metrics().enabled
+        monkeypatch.delenv(TELEMETRY_ENV)
+        assert not Metrics().enabled
+
+
+class TestRecording:
+    def test_counters(self, metrics):
+        metrics.incr("cells")
+        metrics.incr("cells", 2)
+        assert metrics.counters["cells"] == 3
+
+    def test_observe_aggregates_count_total_max(self, metrics):
+        metrics.observe("phase", 0.2)
+        metrics.observe("phase", 0.5)
+        metrics.observe("phase", 0.1)
+        count, total, worst = metrics.timers["phase"]
+        assert count == 3
+        assert total == pytest.approx(0.8)
+        assert worst == pytest.approx(0.5)
+
+    def test_timer_context_manager(self, metrics):
+        with metrics.timer("phase"):
+            pass
+        count, total, worst = metrics.timers["phase"]
+        assert count == 1
+        assert total >= 0.0
+        assert worst == total
+
+
+class TestLifecycle:
+    def test_enable_propagates_env(self, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV, raising=False)
+        m = Metrics(enabled=False)
+        m.enable()
+        assert os.environ[TELEMETRY_ENV] == "1"
+        m.disable()
+        assert TELEMETRY_ENV not in os.environ
+
+    def test_enable_without_env(self, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV, raising=False)
+        m = Metrics(enabled=False)
+        m.enable(propagate_env=False)
+        assert m.enabled
+        assert TELEMETRY_ENV not in os.environ
+
+    def test_reset(self, metrics):
+        metrics.incr("a")
+        metrics.observe("t", 1.0)
+        metrics.reset()
+        assert metrics.counters == {}
+        assert metrics.timers == {}
+
+
+class TestAggregation:
+    def test_snapshot_shape(self, metrics):
+        metrics.incr("a", 2)
+        metrics.observe("t", 0.25)
+        snap = metrics.snapshot()
+        assert snap["counters"] == {"a": 2}
+        assert snap["timers"]["t"] == {
+            "count": 1, "total_s": 0.25, "max_s": 0.25,
+        }
+
+    def test_drain_returns_delta_and_resets(self, metrics):
+        metrics.incr("a")
+        delta = metrics.drain()
+        assert delta["counters"] == {"a": 1}
+        assert metrics.counters == {}
+        assert metrics.drain() == {"counters": {}, "timers": {}}
+
+    def test_merge_combines_worker_deltas(self, metrics):
+        metrics.incr("a", 1)
+        metrics.observe("t", 0.2)
+        metrics.merge({
+            "counters": {"a": 2, "b": 5},
+            "timers": {"t": {"count": 2, "total_s": 0.3, "max_s": 0.25}},
+        })
+        assert metrics.counters == {"a": 3, "b": 5}
+        count, total, worst = metrics.timers["t"]
+        assert count == 3
+        assert total == pytest.approx(0.5)
+        assert worst == pytest.approx(0.25)
+
+    def test_merge_ignores_enabled_flag(self):
+        # Late-arriving worker deltas land even if the parent was
+        # disabled in between (drain/merge is the aggregation path).
+        m = Metrics(enabled=False)
+        m.merge({"counters": {"a": 1}, "timers": {}})
+        assert m.counters == {"a": 1}
+
+
+class TestPresentation:
+    def test_summary_table_lists_everything(self, metrics):
+        metrics.incr("campaign.cells_ok", 4)
+        metrics.observe("cell.simulate", 1.25)
+        table = metrics.summary_table()
+        assert "campaign.cells_ok" in table
+        assert "cell.simulate" in table
+        assert "metric" in table
+
+    def test_summary_table_empty(self, metrics):
+        assert "(no events recorded)" in metrics.summary_table()
+
+
+class TestProcessWideInstance:
+    def test_singleton_exists_disabled_by_default(self):
+        assert isinstance(METRICS, Metrics)
