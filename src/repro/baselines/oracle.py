@@ -60,15 +60,48 @@ class OracleEccScheme(ProtectionScheme):
         layout = LineLayout(data_bits=geometry.line_bits)
         self.layout = layout
 
-        counts = np.zeros(geometry.n_lines, dtype=np.int32)
-        for line in range(geometry.n_lines):
-            count = fault_map.fault_count(line, voltage, 0, layout.data_bits)
-            if count_checkbits:
-                count += fault_map.fault_count(
-                    line, voltage, layout.check_offset, layout.total_bits
-                )
-            counts[line] = count
+        counts = fault_map.fault_counts(voltage, 0, layout.data_bits)
+        if count_checkbits:
+            counts = counts + fault_map.fault_counts(
+                voltage, layout.check_offset, layout.total_bits
+            )
         self.fault_counts = counts
+        # Per-set batched-replay eligibility: line ids are
+        # set * assoc + way, so a row-major reshape groups each set's
+        # ways.  The fault population is static, so this never changes.
+        by_set = counts.reshape(geometry.n_sets, geometry.associativity)
+        self._set_has_faults = (by_set > 0).any(axis=1)
+        # Ways serving CORRECTED hits: faulty but within the ECC budget
+        # (over-budget ways are disabled at attach and never hit).
+        self._corrected_ways = [
+            frozenset(int(w) for w in np.flatnonzero((row > 0) & (row <= correct_t)))
+            if has
+            else None
+            for row, has in zip(by_set, self._set_has_faults)
+        ]
+        self._replay_hooks_clean = self._hooks_unchanged()
+
+    def _hooks_unchanged(self) -> bool:
+        """May this instance's sets replay through the batched kernel?
+
+        True only when no subclass changed a hook the kernel would
+        have to re-model.  (FLAIR's training-mode way filtering is
+        gated separately through ``filters_ways``, which blocks the
+        cache-level probe before the scheme is consulted.)
+        """
+        cls = type(self)
+        base = ProtectionScheme
+        return (
+            cls.on_read_hit is OracleEccScheme.on_read_hit
+            and cls.hit_replay_info is OracleEccScheme.hit_replay_info
+            and cls.on_fill is base.on_fill
+            and cls.on_write_hit is base.on_write_hit
+            and cls.on_evict is base.on_evict
+            and cls.on_invalidated is base.on_invalidated
+            and cls.fill_priority is base.fill_priority
+            and cls.fill_priorities is base.fill_priorities
+            and cls.apply_replay is base.apply_replay
+        )
 
     def attach(self, cache) -> None:
         super().attach(cache)
@@ -96,6 +129,41 @@ class OracleEccScheme(ProtectionScheme):
             return None
         line_id = self.geometry.line_id(set_index, way)
         return (bool(self.fault_counts[line_id] > 0), 0, 0)
+
+    def set_replay_info(self, set_index: int):
+        """Fault-free sets are scheme-inert for the whole run.
+
+        MBIST characterised the (static) fault population up front, so
+        a set whose lines all count zero faults behaves exactly like
+        the unprotected baseline forever: every hit is CLEAN with no
+        stat side effects, fills/write hits/evictions are no-ops, no
+        way is disabled or filtered, and no shared structure exists
+        that another set's traffic could perturb.  Trivially monotone.
+
+        Subclasses that change any behavioural hook opt out
+        conservatively (FLAIR's training-mode way filtering is gated
+        separately through :meth:`filters_ways`, which blocks the
+        cache-level probe before this one runs).
+        """
+        if not self._replay_hooks_clean:
+            return None
+        if self._set_has_faults[set_index]:
+            return None
+        return (False, 0, 0)
+
+    def set_replay_profile(self, set_index: int):
+        """Every set replays: the fault population is fully static.
+
+        Fault-free sets are uniform CLEAN; sets with correctable
+        faulty ways serve those ways' hits as CORRECTED
+        (``corrected_ways``); over-budget ways were disabled at attach
+        (invalid forever, excluded from the fill order by
+        ``export_set_state``).  No RNG, no shared structures, no state
+        transitions — no guard needed.
+        """
+        if not self._replay_hooks_clean:
+            return None
+        return ((False, 0, 0), self._corrected_ways[set_index], None)
 
     def on_reset(self) -> None:
         # The cache just re-enabled every way; MBIST runs again for the

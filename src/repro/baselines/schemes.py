@@ -128,5 +128,10 @@ class FlairScheme(OracleEccScheme):
             return way < self._usable_ways_during_training
         return True
 
+    def filters_ways(self) -> bool:
+        # Only the optional training window ever filters; the default
+        # (pre-trained DFH, as the paper simulates FLAIR) never does.
+        return self.model_training
+
 
 _register_axis_schemes()

@@ -120,6 +120,18 @@ class ProtectionScheme:
         excluded by the tag store; schemes can exclude more.)"""
         return True
 
+    def filters_ways(self) -> bool:
+        """May :meth:`is_line_usable` ever return False for *this
+        instance*?  The cache skips the per-way usability calls (and
+        allows batched set replay) when this is False.  The default is
+        the conservative type-level check; schemes whose filtering is
+        configuration-gated (FLAIR's optional training window) override
+        it so an instance that provably never filters is not penalised
+        for the class having the hook.  Must be decided once, at attach
+        time: an instance that might start filtering later has to
+        return True up front."""
+        return type(self).is_line_usable is not ProtectionScheme.is_line_usable
+
     # -- epoch-cached hit path -------------------------------------------
 
     def hit_replay_info(self, set_index: int, way: int):
@@ -139,6 +151,90 @@ class ProtectionScheme:
 
     def apply_replay(self, info) -> None:
         """Apply the scheme-side stat effects of a memoized hit."""
+
+    # -- batched set replay ----------------------------------------------
+
+    def set_replay_info(self, set_index: int):
+        """Replay tuple if the whole set is *scheme-inert*, else None.
+
+        The batched engine partitions the L2-bound stream by set; a set
+        it may simulate without per-access scheme dispatch must satisfy,
+        for the remainder of the current kernel:
+
+        - every read hit in the set behaves per the returned tuple
+          (``(corrected, hits_inc, sdc_inc)``, as ``hit_replay_info``);
+        - ``on_fill`` / ``on_write_hit`` / ``on_evict`` on any way of
+          the set are pure no-ops (no state, stat, RNG or shared-
+          structure effects);
+        - victim selection reduces to first-invalid / plain LRU (no
+          way filtering, uniform fill priorities);
+        - nothing outside the set's own accesses can mutate the set
+          (no shared-structure entries pointing at it).
+
+        The guarantee must be *monotone*: once true it stays true until
+        the kernel ends (schemes whose clean sets can be re-dirtied by
+        their own accesses must return None).  The base implementation
+        covers schemes that override none of the behavioural hooks —
+        unaware subclasses safely opt out.
+        """
+        cls = type(self)
+        base = ProtectionScheme
+        if (
+            cls.on_read_hit is not base.on_read_hit
+            or cls.on_fill is not base.on_fill
+            or cls.on_write_hit is not base.on_write_hit
+            or cls.on_evict is not base.on_evict
+            or cls.on_invalidated is not base.on_invalidated
+            or cls.fill_priority is not base.fill_priority
+            or cls.fill_priorities is not base.fill_priorities
+            or cls.is_line_usable is not base.is_line_usable
+            or cls.hit_replay_info is not base.hit_replay_info
+            or cls.apply_replay is not base.apply_replay
+        ):
+            return None
+        return PURE_CLEAN_HIT
+
+    def set_replay_profile(self, set_index: int):
+        """Batched-replay profile ``(info, corrected_ways, guard)`` or None.
+
+        The generalisation of :meth:`set_replay_info` the batched
+        engine actually consumes:
+
+        - ``info`` — the per-hit replay tuple applied to the set's
+          read hits (as ``set_replay_info``);
+        - ``corrected_ways`` — None, or the ways whose read hits
+          replay as CORRECTED (+1 cycle, ``corrected_reads``) instead
+          of ``info[0]``'s latency class.  Lets statically-
+          characterised schemes (the MBIST oracles) batch sets that
+          *contain* faulty-but-correctable lines;
+        - ``guard`` — None, or ``(unsafe_ways, fill_ok)`` passed to
+          :func:`repro.cache.soa.replay_clean_set`, which aborts the
+          replay on the rare events that cannot be replayed out of
+          order (shared-RNG draws, unmasked fills).  With a guard the
+          inertness condition need not be monotone in itself — the
+          kernel re-checks every event — but everything *outside* the
+          guarded events must still be inert for the kernel remainder.
+
+        The default wraps :meth:`set_replay_info`: uniform hits, no
+        guard, which keeps every existing scheme's behaviour.
+        """
+        info = self.set_replay_info(set_index)
+        if info is None:
+            return None
+        return (info, None, None)
+
+    def apply_replay_bulk(self, info, count: int) -> None:
+        """Apply ``count`` memoized hits' scheme-side effects at once.
+
+        The safe default loops :meth:`apply_replay`; schemes with
+        additive counters override with closed-form updates.  Schemes
+        that never override ``apply_replay`` (its base is a no-op)
+        skip the loop entirely.
+        """
+        if type(self).apply_replay is ProtectionScheme.apply_replay:
+            return
+        for _ in range(count):
+            self.apply_replay(info)
 
     def on_reset(self) -> None:
         """Voltage change / reboot: clear learned state (DFH reset)."""

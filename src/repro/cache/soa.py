@@ -42,6 +42,9 @@ __all__ = [
     "SoaLineView",
     "SoaTagStore",
     "SoaLruState",
+    "export_set_state",
+    "replay_clean_set",
+    "bulk_apply_set_replays",
 ]
 
 #: The built-in substrate names (registry may hold more).
@@ -369,6 +372,255 @@ class SoaLruState:
                 best_age = a
                 best = way
         return best
+
+
+# -- batched set replay kernels ------------------------------------------
+#
+# The batched engine partitions the L2-bound stream by set and replays
+# each *scheme-inert* set's subsequence here instead of one
+# ``WriteThroughCache.read``/``write`` call per access.  Clean sets are
+# plain set-associative LRU: residency plus recency fully determine
+# every hit, miss, fill and eviction, so the replay needs only an
+# insertion-ordered dict (oldest entry first == LRU victim) and O(1)
+# work per access.  The kernels are substrate-agnostic: state crosses
+# through the canonical per-set form exported below and is written back
+# through the substrate's own insert/touch, mirroring the L1 filter's
+# export/import pattern.
+
+
+def export_set_state(tags, lru, set_index: int):
+    """Canonical replay state of one set: ``(way_lines, seed, free_ways)``.
+
+    ``way_lines[way]`` is the resident line number (-1 invalid),
+    ``seed`` the ``(line_no, way)`` pairs of valid ways in LRU -> MRU
+    order, ``free_ways`` the invalid *enabled* ways ascending — exactly
+    the orders ``first_invalid`` / ``enabled_ways`` + ``lru_way``
+    victim selection consumes.  Disabled ways are excluded from
+    ``free_ways`` (they may never receive a fill) and are guaranteed
+    invalid (``disable`` invalidates first), so they can never appear
+    in ``seed`` either.
+    """
+    assoc = tags.geometry.associativity
+    if isinstance(tags, SoaTagStore):
+        base = set_index * assoc
+        way_lines = tags._line_at[base : base + assoc]
+    else:
+        n_sets = tags.geometry.n_sets
+        way_lines = [
+            tags.tag_at(set_index, way) * n_sets + set_index
+            if tags.is_valid(set_index, way)
+            else -1
+            for way in range(assoc)
+        ]
+    if tags.disabled_in_set[set_index]:
+        if isinstance(tags, SoaTagStore):
+            disabled_row = tags.disabled[set_index]
+            free_ways = [
+                way
+                for way in range(assoc)
+                if way_lines[way] < 0 and not disabled_row[way]
+            ]
+        else:
+            free_ways = [
+                way
+                for way in range(assoc)
+                if way_lines[way] < 0 and not tags.is_disabled(set_index, way)
+            ]
+    else:
+        free_ways = [way for way in range(assoc) if way_lines[way] < 0]
+    if isinstance(lru, SoaLruState):
+        base = set_index * assoc
+        ages = lru.age[base : base + assoc]
+        order = sorted(range(assoc), key=ages.__getitem__)
+    else:
+        order = list(lru.recency_order(set_index))[::-1]
+    seed = [(way_lines[way], way) for way in order if way_lines[way] >= 0]
+    return way_lines, seed, free_ways
+
+
+_NO_WAYS: frozenset = frozenset()
+
+
+def replay_clean_set(
+    seed,
+    free_ways,
+    indices,
+    lines,
+    stores,
+    corrected_ways=None,
+    guard=None,
+):
+    """Exact LRU replay of one scheme-inert set's access subsequence.
+
+    Parameters
+    ----------
+    seed / free_ways:
+        The set's state from :func:`export_set_state`.
+    indices:
+        The set's positions in the global residue stream, ascending —
+        the order the per-access loop would reach them.
+    lines / stores:
+        Full residue columns (plain lists; indexed by ``indices``).
+    corrected_ways:
+        Optional collection of ways whose read hits replay as
+        CORRECTED (+1 cycle, ``corrected_reads``) instead of CLEAN —
+        MBIST-oracle schemes serve faulty-but-correctable lines this
+        way.  None means every hit is uniform.
+    guard:
+        Optional ``(unsafe_ways, fill_ok)`` abort predicate for sets
+        containing ways with active LV faults whose *events* are rare
+        but not replayable: a write hit on a resident line in an
+        unsafe way consumes shared RNG, and a fill into an unsafe way
+        stays replayable only while ``fill_ok(way, line_no)`` says the
+        deterministic masking coins leave no stored error.  Either
+        event aborts the replay.
+
+    Returns ``(resident, touch_order, read_hits, write_hits, evictions,
+    miss_positions, corrected_positions)`` on success: the final
+    line -> way map (insertion-ordered LRU -> MRU), the touched ways
+    in final-recency order (replay through ``lru.touch`` to reproduce
+    the substrate's ages; untouched ways keep theirs), the stat
+    counts, the global positions of the read misses, and the global
+    positions of CORRECTED read hits.  On a guard abort it instead
+    returns the *offset into* ``indices`` of the aborting access
+    (a plain int): nothing has been mutated, and the caller knows the
+    per-access path must advance past that access before a re-probe
+    can possibly succeed (the replay prefix is exact, so the same
+    event recurs at the same access until it has been consumed).
+
+    Semantics matched to the per-access path: reads allocate on miss
+    (victim = first invalid enabled way, else LRU among resident),
+    writes are no-allocate and only touch recency on a hit.
+    """
+    resident = {}
+    n_ways = 0
+    for line, way in seed:
+        resident[line] = way
+        if way >= n_ways:
+            n_ways = way + 1
+    for way in free_ways:
+        if way >= n_ways:
+            n_ways = way + 1
+    touched = [False] * n_ways
+    free_i = 0
+    n_free = len(free_ways)
+    read_hits = write_hits = evictions = 0
+    miss_positions = []
+    miss_append = miss_positions.append
+    corrected_positions = []
+    corrected_append = corrected_positions.append
+    corrected = (
+        corrected_ways
+        if isinstance(corrected_ways, frozenset)
+        else frozenset(corrected_ways)
+    ) if corrected_ways is not None else _NO_WAYS
+    if guard is not None:
+        unsafe, fill_ok = guard
+    else:
+        unsafe, fill_ok = _NO_WAYS, None
+    get = resident.get
+    for k, i in enumerate(indices):
+        line = lines[i]
+        way = get(line)
+        if stores[i]:
+            if way is not None:
+                if way in unsafe:
+                    return k  # write hit would draw shared RNG: abort
+                write_hits += 1
+                del resident[line]
+                resident[line] = way
+                touched[way] = True
+        elif way is not None:
+            read_hits += 1
+            if way in corrected:
+                corrected_append(i)
+            del resident[line]
+            resident[line] = way
+            touched[way] = True
+        else:
+            if free_i < n_free:
+                way = free_ways[free_i]
+            else:
+                victim = next(iter(resident))
+                way = resident[victim]
+            if way in unsafe and not fill_ok(way, line):
+                return k  # fill would store unmasked errors: abort
+            miss_append(i)
+            if free_i < n_free:
+                free_i += 1
+            else:
+                del resident[victim]
+                evictions += 1
+            resident[line] = way
+            touched[way] = True
+    touch_order = [way for way in resident.values() if touched[way]]
+    return (
+        resident,
+        touch_order,
+        read_hits,
+        write_hits,
+        evictions,
+        miss_positions,
+        corrected_positions,
+    )
+
+
+def bulk_apply_set_replays(tags: SoaTagStore, lru: SoaLruState, pending) -> None:
+    """Write many replayed sets' final state back in one pass (SoA only).
+
+    ``pending`` holds ``(set_index, way_lines, resident, touch_order)``
+    tuples as produced by :func:`export_set_state` /
+    :func:`replay_clean_set`.  Equivalent to calling ``tags.insert`` and
+    ``lru.touch`` per changed way, but the numpy-array columns (valid /
+    tag / dirty flags) are written with one fancy-indexed assignment
+    across *all* sets instead of three scalar stores per fill — the
+    scalar stores dominate when thousands of sets apply a handful of
+    fills each.  The plain-list columns (``_line_at``, ages) and the
+    lookup dict are updated inline; per-set LRU clocks advance exactly
+    as ``touch`` would have advanced them.
+    """
+    assoc = tags._assoc
+    n_sets = tags._n_sets
+    index = tags._index
+    line_at = tags._line_at
+    valid_in_set = tags.valid_in_set
+    age = lru.age
+    clock = lru._clock
+    upd_slots: list = []
+    upd_lines: list = []
+    total_new_valid = 0
+    for set_index, way_lines, resident, touch_order in pending:
+        base = set_index * assoc
+        newly_valid = 0
+        for line, way in resident.items():
+            old = way_lines[way]
+            if old == line:
+                continue
+            if old >= 0:
+                index.pop(old, None)
+            else:
+                newly_valid += 1
+            index[line] = way
+            slot = base + way
+            line_at[slot] = line
+            upd_slots.append(slot)
+            upd_lines.append(line)
+        if newly_valid:
+            total_new_valid += newly_valid
+            valid_in_set[set_index] += newly_valid
+        stamp = clock[set_index]
+        for way in touch_order:
+            age[base + way] = stamp
+            stamp += 1
+        clock[set_index] = stamp
+    if upd_slots:
+        tags._n_valid += total_new_valid
+        slots_np = np.asarray(upd_slots, dtype=np.int64)
+        tags.valid.ravel()[slots_np] = True
+        tags.tag.ravel()[slots_np] = (
+            np.asarray(upd_lines, dtype=np.int64) // n_sets
+        )
+        tags.dirty.ravel()[slots_np] = False
 
 
 def _object_tag_store(geometry: CacheGeometry):

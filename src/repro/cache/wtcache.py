@@ -28,7 +28,13 @@ from dataclasses import dataclass
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.protection import AccessOutcome, ProtectionScheme
-from repro.cache.soa import resolve_substrate, substrate_spec
+from repro.cache.soa import (
+    SoaLruState,
+    SoaTagStore,
+    bulk_apply_set_replays,
+    resolve_substrate,
+    substrate_spec,
+)
 from repro.cache.stats import CacheStats
 
 __all__ = ["CacheLatencies", "WriteThroughCache"]
@@ -108,10 +114,10 @@ class WriteThroughCache:
         self._hit_stamp = [-1] * n_lines
         self._hit_info = [None] * n_lines
         self.scheme.attach(self)
-        # Skip the per-way usability call unless the scheme overrides it.
-        self._scheme_filters_ways = (
-            type(self.scheme).is_line_usable is not ProtectionScheme.is_line_usable
-        )
+        # Skip the per-way usability call unless this scheme instance
+        # can actually filter (type-level override check by default;
+        # config-gated filters like FLAIR's training window refine it).
+        self._scheme_filters_ways = self.scheme.filters_ways()
         # Skip priority ranking of invalid candidates unless the scheme
         # actually ranks (a default scheme returns all-zero priorities,
         # under which "first max" is just the first candidate).
@@ -203,6 +209,93 @@ class WriteThroughCache:
         # Posted write: the store itself does not stall the requester
         # beyond the tag check.
         return self._lat_tag
+
+    # -- batched set replay ------------------------------------------------
+
+    def set_replay_info(self, set_index: int):
+        """Per-hit replay tuple if the set may be replayed in batch.
+
+        Combines the cache-level conditions (no disabled ways — their
+        presence changes victim selection — and no way filtering) with
+        the scheme's own set-inertness probe
+        (:meth:`~repro.cache.protection.ProtectionScheme.set_replay_info`).
+        None forces the per-access path for the set.
+        """
+        if self.tags.disabled_in_set[set_index]:
+            return None
+        if self._scheme_filters_ways:
+            return None
+        return self.scheme.set_replay_info(set_index)
+
+    def set_replay_profile(self, set_index: int):
+        """Batched-replay profile for the set, or None (per-access path).
+
+        The generalised probe the batched engine uses: disabled ways
+        no longer force a fallback — they are guaranteed invalid
+        (``disable`` invalidates first) and ``export_set_state``
+        excludes them from the fill order, which reproduces
+        ``_choose_victim``'s enabled-candidates path exactly.  Only a
+        *fully* disabled set (every fill bypasses) and way-filtering
+        schemes still refuse at the cache level; everything else is
+        the scheme's call
+        (:meth:`~repro.cache.protection.ProtectionScheme.set_replay_profile`).
+        """
+        if self._scheme_filters_ways:
+            return None
+        if self.tags.disabled_in_set[set_index] >= self._assoc:
+            return None
+        return self.scheme.set_replay_profile(set_index)
+
+    def apply_set_replay(self, set_index: int, way_lines, resident, touch_order):
+        """Write one replayed set's final state back into the substrate.
+
+        ``way_lines`` is the pre-replay state from
+        :func:`~repro.cache.soa.export_set_state`, ``resident`` /
+        ``touch_order`` the kernel's results.  Ways whose line changed
+        go through ``tags.insert`` (which maintains the lookup index
+        and validity counters on either substrate); touched ways replay
+        through ``lru.touch`` in final-recency order, reproducing the
+        exact age ordering the per-access path would leave.  Every
+        memoized hit stamp of the set is conservatively cleared —
+        over-invalidation only costs a re-memoization, never a
+        behaviour change.
+        """
+        tags = self.tags
+        line_bytes = self._line_bytes
+        for line, way in resident.items():
+            if way_lines[way] != line:
+                tags.insert(line * line_bytes, way)
+        lru = self.lru
+        for way in touch_order:
+            lru.touch(set_index, way)
+        base = set_index * self._assoc
+        stamp = self._hit_stamp
+        for way in range(self._assoc):
+            stamp[base + way] = -1
+
+    def apply_set_replays(self, pending) -> None:
+        """Write many replayed sets back at once (deferred application).
+
+        ``pending`` holds ``(set_index, way_lines, resident,
+        touch_order)`` tuples.  Deferral is sound because a replayed
+        set's remaining accesses were all consumed by its replay and no
+        other set reads its tag/LRU state: an inert set holds no
+        ECC-cache entries, so cross-set ECC evictions can never reach
+        into it mid-kernel.  On the SoA substrate the numpy columns are
+        written in one fancy-indexed pass; the object substrate applies
+        per set.
+        """
+        if isinstance(self.tags, SoaTagStore) and isinstance(self.lru, SoaLruState):
+            bulk_apply_set_replays(self.tags, self.lru, pending)
+            assoc = self._assoc
+            stamp = self._hit_stamp
+            blank = [-1] * assoc
+            for set_index, _, _, _ in pending:
+                base = set_index * assoc
+                stamp[base : base + assoc] = blank
+        else:
+            for set_index, way_lines, resident, touch_order in pending:
+                self.apply_set_replay(set_index, way_lines, resident, touch_order)
 
     def invalidate_line(self, set_index: int, way: int, reason: str = "") -> None:
         """Invalidate a valid line from outside the access path.

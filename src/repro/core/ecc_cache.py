@@ -65,6 +65,18 @@ class EccCache:
         """Is (l2_set, l2_way) currently protected?"""
         return (l2_set, l2_way) in self._sets[l2_set % self.n_sets]
 
+    def has_entries_for(self, l2_set: int) -> bool:
+        """Does any way of the L2 set currently hold an entry?
+
+        One scan of the (≤ assoc entries) servicing ECC set — the
+        batched engine's set-inertness probe: a set with no entries can
+        never be invalidated by another set's ECC-cache contention.
+        """
+        for key in self._sets[l2_set % self.n_sets]:
+            if key[0] == l2_set:
+                return True
+        return False
+
     def touch(self, l2_set: int, l2_way: int) -> None:
         """Promote the entry to MRU (coordinated replacement)."""
         self.accesses += 1

@@ -101,6 +101,8 @@ class KilliScheme(ProtectionScheme):
         # Per-set count of lines in a DFH state other than INITIAL;
         # 0 means every way still carries the same fill priority.
         self._off_initial_in_set = [0] * geometry.n_sets
+        # Reference row for the set-inertness probe's one-slice compare.
+        self._all_stable0 = [_STABLE_0] * self._assoc
         self.transitions: dict = {}
         self.sdc_events = 0
         self.hits_served = 0
@@ -342,6 +344,100 @@ class KilliScheme(ProtectionScheme):
     def apply_replay(self, info) -> None:
         self.hits_served += info[1]
         self.sdc_events += info[2]
+
+    def set_replay_info(self, set_index: int):
+        """Scheme-inert probe: every way stable-clean and uncoupled.
+
+        A set qualifies when all of its lines are DFH b'00 with an
+        empty error vector, no *active* LV faults at the current
+        voltage, and no ECC-cache entry.  Such a set is inert for the
+        rest of the kernel:
+
+        - hits take the b'00 fast-clean path (``hits_served += 1``,
+          CLEAN, no epoch/ECC traffic) — the returned tuple;
+        - fills keep DFH b'00 (no ECC insert) and resample nothing
+          (no active faults -> ``errors.on_fill`` clears an already
+          empty row without consuming RNG);
+        - write hits likewise touch neither RNG nor ECC state;
+        - evictions train nothing (b'00 is not b'01) and remove no
+          entry;
+        - fill priorities are uniform (every way b'00) so victim
+          selection is first-invalid / plain LRU;
+        - no entries means no other set's ECC contention can reach in,
+          and its own accesses never create entries, faults or DFH
+          transitions — the condition is monotone within a kernel.
+        """
+        if self.soft_injector is not None:
+            return None
+        base = set_index * self._assoc
+        stop = base + self._assoc
+        if self.dfh[base:stop] != self._all_stable0:
+            return None
+        errors = self.errors
+        if errors.active_faults_in_range(base, stop):
+            return None
+        if errors.dirty_in_range(base, stop):
+            return None
+        if self.ecc.has_entries_for(set_index):
+            return None
+        return (False, 1, 0)
+
+    def apply_replay_bulk(self, info, count: int) -> None:
+        self.hits_served += info[1] * count
+        self.sdc_events += info[2] * count
+
+    def set_replay_profile(self, set_index: int):
+        """Guarded batched replay for stabilised sets.
+
+        Looser than :meth:`set_replay_info`: ways may be DISABLED
+        (inert — their state was cleared at disable time and the tag
+        store never offers them again) and lines may sit over *active*
+        LV faults, as long as every enabled way is DFH b'00, no error
+        vector is non-empty and no ECC-cache entry exists.  Hits then
+        all take the b'00 fast-clean path and evictions train nothing.
+
+        The two events such a set cannot replay out of order are
+        guarded instead of forbidden:
+
+        - a write hit on a line with active faults re-rolls masking
+          with the *shared* RNG (``unsafe_ways`` -> kernel abort);
+        - a fill whose deterministic masking coins leave unmasked
+          faults would store a non-empty error vector, breaking the
+          fast-clean invariant (``fill_ok`` -> kernel abort).  Fills
+          are RNG-free, so predicting them with
+          ``fill_would_be_clean`` is exact; the salt replicates
+          ``on_fill``'s (the cache tag, ``line // n_sets``).
+
+        Aborted replays are discarded wholesale; the per-access path
+        then consumes the prefix plus the aborting access.
+        """
+        if self.soft_injector is not None:
+            return None
+        base = set_index * self._assoc
+        stop = base + self._assoc
+        dfh = self.dfh[base:stop]
+        if dfh != self._all_stable0 and any(
+            v != _STABLE_0 and v != _DISABLED for v in dfh
+        ):
+            return None
+        errors = self.errors
+        if errors.dirty_in_range(base, stop):
+            return None
+        if self.ecc.has_entries_for(set_index):
+            return None
+        if not errors.active_faults_in_range(base, stop):
+            return ((False, 1, 0), None, None)
+        unsafe = frozenset(
+            way
+            for way in range(self._assoc)
+            if dfh[way] == _STABLE_0 and errors.slot_has_active(base + way)
+        )
+        n_sets = self.geometry.n_sets
+
+        def fill_ok(way: int, line: int) -> bool:
+            return errors.fill_would_be_clean(base + way, line // n_sets)
+
+        return ((False, 1, 0), None, (unsafe, fill_ok))
 
     def on_write_hit(self, set_index: int, way: int) -> None:
         line_id = set_index * self._assoc + way

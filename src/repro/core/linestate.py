@@ -255,6 +255,32 @@ class LineErrorModel:
             line_id, pack_positions(unmasked, self.layout.total_bits)
         )
 
+    def slot_has_active(self, line_id: int) -> bool:
+        """Any active LV faults in this physical slot at the current
+        voltage?  (True means ``on_write_hit`` would draw shared RNG
+        and ``on_fill`` would roll the masking coins.)"""
+        offsets = self._act_offsets
+        if offsets is None:
+            offsets = self._ensure_active()
+        return offsets[line_id] != offsets[line_id + 1]
+
+    def fill_would_be_clean(self, line_id: int, salt: int = 0) -> bool:
+        """Would :meth:`on_fill` leave this slot's error vector empty?
+
+        Pure prediction — evaluates the same deterministic masking
+        coins ``on_fill`` uses (fills never touch the shared RNG) and
+        mutates nothing.  Must stay in lockstep with ``on_fill``.
+        """
+        offsets = self._act_offsets
+        if offsets is None:
+            offsets = self._ensure_active()
+        start = offsets[line_id]
+        stop = offsets[line_id + 1]
+        if start == stop:
+            return True
+        positions = self._act_positions[start:stop]
+        return not self._masking_coins(line_id, salt, positions).any()
+
     def on_write_hit(self, line_id: int) -> None:
         """Write-through update of resident data.
 
@@ -342,6 +368,27 @@ class LineErrorModel:
         )
         per_line[key] = signals
         return signals
+
+    def dirty_in_range(self, start: int, stop: int) -> bool:
+        """Any line in ``[start, stop)`` with a non-empty error vector?
+
+        Set-level probe for the batched replay engine: a scheme-inert
+        set must have every resident line's effective vector empty.
+        """
+        return any(self._weights[start:stop])
+
+    def active_faults_in_range(self, start: int, stop: int) -> bool:
+        """Any *active* LV fault (masked or not) in lines ``[start, stop)``?
+
+        O(1) via the active-fault CSR of the current voltage: lines
+        without active faults can never grow an error vector from their
+        own fills or write hits, which is what lets the batched engine
+        skip the per-access error-model calls for them.
+        """
+        offsets = self._act_offsets
+        if offsets is None:
+            offsets = self._ensure_active()
+        return offsets[stop] > offsets[start]
 
     def has_observable_faults(self, line_id: int) -> bool:
         """Would the inverted-write read pair observe any fault?

@@ -293,6 +293,26 @@ class FaultMap:
             stop = self.line_bits
         return int(np.count_nonzero((positions >= start) & (positions < stop)))
 
+    def fault_counts(
+        self, voltage: float, start: int = 0, stop: int | None = None
+    ) -> np.ndarray:
+        """Per-line active-fault counts within ``[start, stop)``, bulk.
+
+        One vectorized pass over the whole map — the batched equivalent
+        of calling :meth:`fault_count` for every line, for consumers
+        that characterise the full population up front (the MBIST
+        oracle schemes, the coverage sampler).
+        """
+        self._check_voltage(voltage)
+        if stop is None:
+            stop = self.line_bits
+        window = (
+            self._active_at(voltage)
+            & (self._positions >= start)
+            & (self._positions < stop)
+        )
+        return np.bincount(self._line_of[window], minlength=self.n_lines)
+
     def apply(self, line: int, voltage: float, bits: np.ndarray, offset: int = 0) -> np.ndarray:
         """Return ``bits`` as read back through the faulty cells.
 

@@ -9,17 +9,24 @@ traffic.  The kernel's execution time is the slowest CU's cycle count
 — the metric normalised in the paper's Figure 4 — and L2 MPKI over
 total instructions is Figure 5's metric.
 
-Two interchangeable inner loops implement the model:
+Three interchangeable inner loops implement the model:
 
 - ``engine="vectorized"`` (default): the round-robin interleave and
   per-CU gap totals are computed once with numpy, leaving a single
   flat pass over the merged access sequence.
+- ``engine="batched"``: additionally partitions the L2-bound residue
+  by L2 set and replays every *scheme-inert* set through the batched
+  set kernel (:func:`~repro.cache.soa.replay_clean_set`) — no
+  per-access Python call at all; sets with scheme-relevant lines
+  (faulty, disabled, ECC-cache-resident, DFH-transitioning) fall back
+  to the exact per-access path in original global order.  Bank
+  conflicts and the stats deltas are applied in bulk.
 - ``engine="scalar"``: the original per-round Python loop, kept as
   the reference implementation.
 
-Both produce bit-identical results — cycles, per-CU cycles and every
-:class:`~repro.cache.stats.CacheStats` counter — which the test suite
-pins across workloads and schemes.
+All engines produce bit-identical results — cycles, per-CU cycles and
+every :class:`~repro.cache.stats.CacheStats` counter — which the test
+suite pins across workloads and schemes.
 """
 
 from __future__ import annotations
@@ -30,12 +37,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cache.protection import ProtectionScheme
-from repro.cache.soa import resolve_substrate
+from repro.cache.soa import export_set_state, replay_clean_set, resolve_substrate
 from repro.cache.stats import CacheStats
 from repro.cache.wtcache import WriteThroughCache
 from repro.gpu.config import GpuConfig
 from repro.gpu.hierarchy import SimpleL1
-from repro.gpu.l1filter import run_l1_stream
+from repro.gpu.l1filter import run_l1_stream_memo
 from repro.scenario.registries import ENGINE_REGISTRY
 from repro.traces.base import Trace
 from repro.utils.metrics import METRICS
@@ -43,7 +50,7 @@ from repro.utils.metrics import METRICS
 __all__ = ["ENGINES", "KernelResult", "GpuSimulator"]
 
 #: The built-in inner-loop implementations (registry may hold more).
-ENGINES = ("vectorized", "scalar")
+ENGINES = ("vectorized", "scalar", "batched")
 
 
 def _resolve_engine(engine: str):
@@ -192,15 +199,10 @@ class GpuSimulator:
         l1_hit_latency = self.config.l1_hit_latency
         l2 = self.l2
         cycles = [0] * n_cus
-        streams = []
-        for stream in trace.streams:
-            streams.append(
-                (
-                    [int(a) for a in stream.addrs],
-                    [bool(s) for s in stream.is_store],
-                    [int(g) for g in stream.gaps],
-                )
-            )
+        # Normalised once on the stream and cached there (identical
+        # values to the per-run [int(a) for a in ...] this loop used to
+        # rebuild).
+        streams = [stream.scalar_columns() for stream in trace.streams]
         lengths = [len(s[0]) for s in streams]
         position = [0] * n_cus
         remaining = sum(lengths)
@@ -272,63 +274,74 @@ class GpuSimulator:
             gap_totals,
         )
 
-    def _run_vectorized(self, trace: Trace) -> list:
-        """Batched L1 pre-filter + flat residue loop over the L2.
+    def _l1_filter_residue(self, trace: Trace):
+        """Stage 1, shared by the vectorized and batched engines.
 
-        Stage 1 simulates each CU's entire (private, deterministic) L1
-        stream in one pass (:func:`~repro.gpu.l1filter.run_l1_stream`),
-        which also yields the CU's base latency in closed form: summed
+        Simulates each CU's entire (private, deterministic) L1 stream
+        in one pass (:func:`~repro.gpu.l1filter.run_l1_stream`), which
+        also yields the CU's base latency in closed form: summed
         compute gaps plus ``l1_hit_latency`` per load (every load pays
-        it, hit or miss).  Stage 2 replays only the L2-bound residue —
-        stores and L1 read misses — merged round-major/CU-minor, i.e.
-        in exactly the order the scalar loop reaches the L2; rounds
-        consisting purely of L1 hits never touch the bank-usage map in
-        either loop, so bank-conflict accounting matches bit for bit.
+        it, hit or miss).  Returns ``(base, residue)`` where ``base``
+        is the per-CU base latency and ``residue`` is None (no L2-bound
+        access) or the merged L2-bound stream — stores and L1 read
+        misses — as aligned int64/bool arrays ``(addrs, stores, cus,
+        rounds)`` sorted round-major/CU-minor, i.e. in exactly the
+        order the scalar loop reaches the L2.
         """
-        n_cus = self.config.n_cus
         l1_hit_latency = self.config.l1_hit_latency
-
-        telemetry = METRICS.enabled
-        if telemetry:
-            phase_started = time.perf_counter()
         addr_parts, store_parts, pos_parts, cu_parts = [], [], [], []
         base = []
         for cu, stream in enumerate(trace.streams):
-            addr_np = np.asarray(stream.addrs, dtype=np.int64)
-            store_np = np.asarray(stream.is_store, dtype=bool)
-            addrs = addr_np.tolist()
-            stores = store_np.tolist()
+            addr_np, store_np, gap_total = stream.array_columns()
+            addrs, stores, _ = stream.scalar_columns()
             line_nos = (
                 addr_np // self.l1s[cu].geometry.line_bytes
             ).tolist()
-            l2_bound = run_l1_stream(self.l1s[cu], addrs, stores, line_nos)
-            n_loads = len(stores) - int(np.count_nonzero(store_np))
-            base.append(
-                int(np.sum(np.asarray(stream.gaps, dtype=np.int64)))
-                + l1_hit_latency * n_loads
+            keep = run_l1_stream_memo(
+                self.l1s[cu], stream, addrs, stores, line_nos
             )
-            keep = np.flatnonzero(np.asarray(l2_bound, dtype=bool))
+            n_loads = len(stores) - int(np.count_nonzero(store_np))
+            base.append(gap_total + l1_hit_latency * n_loads)
             addr_parts.append(addr_np[keep])
             store_parts.append(store_np[keep])
             pos_parts.append(keep.astype(np.int64))
             cu_parts.append(np.full(len(keep), cu, dtype=np.int64))
+        if not addr_parts or not sum(len(p) for p in addr_parts):
+            return base, None
+        addrs_arr = np.concatenate(addr_parts)
+        stores_arr = np.concatenate(store_parts)
+        pos = np.concatenate(pos_parts)
+        cus = np.concatenate(cu_parts)
+        # Round-major, CU-minor: the scalar loop's visit order.
+        order = np.lexsort((cus, pos))
+        return base, (addrs_arr[order], stores_arr[order], cus[order], pos[order])
+
+    def _run_vectorized(self, trace: Trace) -> list:
+        """Batched L1 pre-filter + flat residue loop over the L2.
+
+        Stage 1 is :meth:`_l1_filter_residue`.  Stage 2 replays the
+        L2-bound residue in the scalar loop's visit order; rounds
+        consisting purely of L1 hits never touch the bank-usage map in
+        either loop, so bank-conflict accounting matches bit for bit.
+        """
+        n_cus = self.config.n_cus
+
+        telemetry = METRICS.enabled
+        if telemetry:
+            phase_started = time.perf_counter()
+        base, residue = self._l1_filter_residue(trace)
         if telemetry:
             now = time.perf_counter()
             METRICS.observe("engine.vectorized.l1_filter", now - phase_started)
             phase_started = now
 
         latency = [0] * n_cus
-        if addr_parts and sum(len(p) for p in addr_parts):
-            addrs_arr = np.concatenate(addr_parts)
-            stores_arr = np.concatenate(store_parts)
-            pos = np.concatenate(pos_parts)
-            cus = np.concatenate(cu_parts)
-            # Round-major, CU-minor: the scalar loop's visit order.
-            order = np.lexsort((cus, pos))
-            r_addrs = addrs_arr[order].tolist()
-            r_stores = stores_arr[order].tolist()
-            r_cus = cus[order].tolist()
-            r_rounds = pos[order].tolist()
+        if residue is not None:
+            addrs_arr, stores_arr, cus, pos = residue
+            r_addrs = addrs_arr.tolist()
+            r_stores = stores_arr.tolist()
+            r_cus = cus.tolist()
+            r_rounds = pos.tolist()
 
             l2_read = self.l2.read
             l2_write = self.l2.write
@@ -364,6 +377,280 @@ class GpuSimulator:
             )
         return [base[cu] + latency[cu] for cu in range(n_cus)]
 
+    # -- batched set-partitioned fast path -----------------------------------
+
+    #: A set that fails its inertness probe is re-probed after this many
+    #: of its *own* accesses have run per-access; the interval doubles
+    #: per failed probe up to the MAX.  Probing only decides *when* a
+    #: set's tail starts batching — results are schedule-independent —
+    #: so both values are pure performance knobs, exposed for tests.
+    BATCH_PROBE_INTERVAL = 4
+    BATCH_PROBE_INTERVAL_MAX = 16
+
+    def _run_batched(self, trace: Trace) -> list:
+        """Set-partitioned batched replay of the L2-bound residue.
+
+        Stage 1 is the shared L1 pre-filter.  Stage 2 computes
+        bank-conflict delays for the whole residue in one vectorized
+        pass (queue rank = ordinal within the (round, bank) group of
+        the ordered residue — identical to the per-round ``bank_usage``
+        dict in either reference loop, and independent of which path
+        replays the access).  Stage 3 partitions the residue by L2 set:
+
+        - A set the cache hands a *replay profile* for
+          (:meth:`~repro.cache.wtcache.WriteThroughCache.set_replay_profile`)
+          is simulated by :func:`~repro.cache.soa.replay_clean_set` —
+          plain set-associative LRU over the set's subsequence, O(1)
+          per access, no scheme or stats dispatch.  The profile may
+          mark per-way CORRECTED hits (MBIST oracles' faulty-but-
+          correctable lines) and carry a guard that aborts the replay
+          on the rare events that must run in global order (shared-RNG
+          write hits, unmasking fills); an un-aborted replay consumes
+          the set's *entire remaining* subsequence at once, and
+          tag/LRU state plus the aggregate stat deltas are applied in
+          bulk afterwards
+          (:meth:`~repro.cache.wtcache.WriteThroughCache.apply_set_replays`).
+        - All other accesses run through ``l2.read`` / ``l2.write`` in
+          original global order — preserving the RNG draw sequence and
+          the ECC-cache interleave across sets, which is what keeps
+          cycles, stats and DFH state bit-identical to the reference.
+
+        Each set is probed on its first access and re-probed with
+        per-set exponential backoff while it stays dirty, so sets that
+        *become* inert mid-kernel — e.g. Killi sets finishing DFH
+        warmup — still batch their tails shortly after converging.
+        """
+        n_cus = self.config.n_cus
+        telemetry = METRICS.enabled
+        if telemetry:
+            phase_started = time.perf_counter()
+        base, residue = self._l1_filter_residue(trace)
+        if telemetry:
+            now = time.perf_counter()
+            METRICS.observe("engine.batched.l1_filter", now - phase_started)
+            phase_started = now
+        if residue is None:
+            return base
+
+        r_addrs, r_stores, r_cus, r_rounds = residue
+        n = len(r_addrs)
+        l2 = self.l2
+        geometry = self.config.l2
+        n_sets = geometry.n_sets
+        line_nos = r_addrs // geometry.line_bytes
+
+        # Stage 2: bank-conflict delays, state-free and exact.
+        model_banks = self.config.model_bank_conflicts
+        if model_banks:
+            # bank_of(addr) == line_no % banks: banks is a power of two
+            # dividing n_sets, so the set-index modulo drops out.
+            n_banks = geometry.banks
+            key = r_rounds * np.int64(n_banks) + line_nos % n_banks
+            by_key = np.argsort(key, kind="stable")
+            ordinal = np.arange(n, dtype=np.int64)
+            new_group = np.empty(n, dtype=bool)
+            new_group[0] = True
+            sorted_key = key[by_key]
+            np.not_equal(sorted_key[1:], sorted_key[:-1], out=new_group[1:])
+            group_start = np.where(new_group, ordinal, 0)
+            np.maximum.accumulate(group_start, out=group_start)
+            delay = np.empty(n, dtype=np.int64)
+            delay[by_key] = (ordinal - group_start) * self.config.bank_conflict_penalty
+
+        lat = np.zeros(n, dtype=np.int64)  # batched accesses only
+        latency_py = [0] * n_cus  # fallback-path accumulation
+        stores_list = r_stores.tolist()
+        addrs_list = r_addrs.tolist()
+        cus_list = r_cus.tolist()
+        clean_done: set = set()
+        miss_all: list = []
+        pending: list = []  # deferred (set, way_lines, resident, touch_order)
+        n_fallback = 0
+        l2_read = l2.read
+        l2_write = l2.write
+
+        # Only the plain write-through L2 has batchable semantics (the
+        # write-back variant swaps in a different access protocol).
+        if type(l2) is WriteThroughCache:
+            set_idx = line_nos % n_sets
+            # Stage 3: set partition.  Stable grouping keeps each set's
+            # subsequence in original (round-major/CU-minor) order.
+            set_order = np.argsort(set_idx, kind="stable")
+            uniq_sets, starts = np.unique(set_idx[set_order], return_index=True)
+            bounds = np.append(starts[1:], n)
+            groups = {
+                int(s): set_order[a:b]
+                for s, a, b in zip(uniq_sets, starts, bounds)
+            }
+            lines_list = line_nos.tolist()
+            sets_list = set_idx.tolist()
+            lat_tag = l2._lat_tag
+            lat_groups: dict = {}  # hit latency -> per-set index arrays
+            bulk_hits: dict = {}  # replay info -> batched read hits
+            agg = [0, 0, 0, 0, 0]  # reads, read_hits, writes, write_hits, evs
+            seen: dict = {}  # set -> accesses already run per-access
+            probe_left: dict = {}  # set -> own accesses until next probe
+            probe_iv: dict = {}  # set -> current backed-off interval
+            replay_profile = l2.set_replay_profile
+            tags, lru = l2.tags, l2.lru
+            iv0 = self.BATCH_PROBE_INTERVAL
+            iv_max = self.BATCH_PROBE_INTERVAL_MAX
+            corrected_all: list = []
+
+            def consume_tail(s, start, prof):
+                """Replay set ``s``'s remaining subsequence in batch.
+
+                Returns None on success.  On a guard abort, returns the
+                offset into the tail of the access that cannot replay —
+                nothing was committed, and the caller schedules the
+                per-access path to consume at least through that access
+                before re-probing (the replay prefix is exact, so the
+                same abort recurs until the event itself has run).
+                """
+                info, corrected_ways, guard = prof
+                idx_np = groups[s][start:]
+                way_lines, seed, free_ways = export_set_state(tags, lru, s)
+                res = replay_clean_set(
+                    seed, free_ways, idx_np.tolist(), lines_list,
+                    stores_list, corrected_ways, guard,
+                )
+                if type(res) is int:
+                    return res
+                resident, touch_order, rh, wh, ev, miss_positions, corr = res
+                pending.append((s, way_lines, resident, touch_order))
+                reads_sub = rh + len(miss_positions)
+                agg[0] += reads_sub
+                agg[1] += rh
+                agg[2] += len(idx_np) - reads_sub
+                agg[3] += wh
+                agg[4] += ev
+                miss_all.extend(miss_positions)
+                corrected_all.extend(corr)
+                bulk_hits[info] = bulk_hits.get(info, 0) + rh
+                hit_lat = l2._lat_hit_corrected if info[0] else l2._lat_hit
+                lat_groups.setdefault(hit_lat, []).append(idx_np)
+                clean_done.add(s)
+                return None
+
+            # Stage 3a: upfront probe.  A set that is already inert
+            # batches wholesale and its accesses never enter the loop
+            # at all — for statically-inert schemes (baseline, MBIST
+            # oracles) this removes the entire per-access iteration,
+            # not just the L2 dispatch.  Inertness is monotone, so
+            # probing before the first access instead of at it cannot
+            # change the replayed state.  A set that fails here keeps
+            # ``probe_left == 0`` and is re-probed at its first access,
+            # exactly as if the upfront probe had not happened.
+            for s in groups:
+                prof = replay_profile(s)
+                if prof is not None:
+                    k = consume_tail(s, 0, prof)
+                    if k is not None:
+                        # Guard abort before any access ran: the first
+                        # k accesses replay, the (k+1)-th cannot — run
+                        # all k+1 per-access, then re-probe.
+                        probe_left[s] = k + 1
+
+            if len(clean_done) == len(groups):
+                loop_idx = ()
+            elif clean_done:
+                batched_sets = np.zeros(n_sets, dtype=bool)
+                batched_sets[np.fromiter(clean_done, dtype=np.int64)] = True
+                loop_idx = np.flatnonzero(~batched_sets[set_idx]).tolist()
+            else:
+                loop_idx = range(n)
+
+            for i in loop_idx:
+                s = sets_list[i]
+                if s in clean_done:
+                    continue
+                left = probe_left.get(s, 0)
+                if left > 0:
+                    probe_left[s] = left - 1
+                else:
+                    prof = replay_profile(s)
+                    if prof is not None:
+                        k = consume_tail(s, seen.get(s, 0), prof)
+                        if k is None:
+                            # Inert from here on: tail fully consumed.
+                            continue
+                        # Guard abort at tail offset k; this access is
+                        # offset 0 and runs below, so k more pass
+                        # per-access before the next probe.
+                        probe_left[s] = k
+                    else:
+                        iv = probe_iv.get(s, iv0)
+                        probe_left[s] = iv
+                        if iv < iv_max:
+                            probe_iv[s] = iv * 2
+                seen[s] = seen.get(s, 0) + 1
+                if stores_list[i]:
+                    latency_py[cus_list[i]] += l2_write(addrs_list[i])
+                else:
+                    latency_py[cus_list[i]] += l2_read(addrs_list[i])
+                n_fallback += 1
+
+            if pending:
+                # Deferred state write-back and batched stat deltas,
+                # applied once for all replayed sets.
+                l2.apply_set_replays(pending)
+                st = l2.stats
+                n_miss = len(miss_all)
+                agg_reads, agg_read_hits, agg_writes, agg_write_hits, agg_evs = agg
+                st.reads += agg_reads
+                st.read_hits += agg_read_hits
+                st.read_misses += n_miss
+                st.fills += n_miss
+                st.evictions += agg_evs
+                st.writes += agg_writes
+                st.write_hits += agg_write_hits
+                st.write_misses += agg_writes - agg_write_hits
+                l2.memory_reads += n_miss
+                l2.memory_writes += agg_writes
+                scheme = l2.scheme
+                for info, hits in bulk_hits.items():
+                    if info[0]:
+                        st.corrected_reads += hits
+                    scheme.apply_replay_bulk(info, hits)
+                for hit_lat, arrs in lat_groups.items():
+                    cat = arrs[0] if len(arrs) == 1 else np.concatenate(arrs)
+                    lat[cat] = np.where(r_stores[cat], lat_tag, hit_lat)
+                if corrected_all:
+                    # Per-way CORRECTED hits (oracle faulty-but-within-
+                    # budget lines): +1 cycle over their set's base hit
+                    # latency.  Scheme-side effects already followed the
+                    # set's uniform ``info`` above; only the cache stat
+                    # and the latency class differ.
+                    st.corrected_reads += len(corrected_all)
+                    lat[np.asarray(corrected_all, dtype=np.int64)] = (
+                        l2._lat_hit_corrected
+                    )
+                if miss_all:
+                    lat[np.asarray(miss_all, dtype=np.int64)] = l2._lat_miss
+        else:
+            for i in range(n):
+                if stores_list[i]:
+                    latency_py[cus_list[i]] += l2_write(addrs_list[i])
+                else:
+                    latency_py[cus_list[i]] += l2_read(addrs_list[i])
+            n_fallback = n
+
+        latency_np = np.zeros(n_cus, dtype=np.int64)
+        if pending:
+            np.add.at(latency_np, r_cus, lat)
+        if model_banks:
+            np.add.at(latency_np, r_cus, delay)
+        if telemetry:
+            METRICS.observe(
+                "engine.batched.l2_replay", time.perf_counter() - phase_started
+            )
+            METRICS.incr("engine.batched.sets_batched", len(clean_done))
+            METRICS.incr("engine.batched.accesses_batched", n - n_fallback)
+            METRICS.incr("engine.batched.accesses_fallback", n_fallback)
+        return [
+            base[cu] + latency_py[cu] + int(latency_np[cu]) for cu in range(n_cus)
+        ]
+
     def run_kernels(self, traces) -> list:
         """Run a sequence of kernels back to back.
 
@@ -382,3 +669,4 @@ class GpuSimulator:
 # Built-in inner loops: ``(simulator, trace) -> per-CU cycle list``.
 ENGINE_REGISTRY.register("vectorized", GpuSimulator._run_vectorized)
 ENGINE_REGISTRY.register("scalar", GpuSimulator._run_scalar)
+ENGINE_REGISTRY.register("batched", GpuSimulator._run_batched)

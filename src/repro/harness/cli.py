@@ -161,6 +161,8 @@ def _run_perf(args) -> None:
         jobs=args.jobs,
         cache_dir=args.cache,
         progress=_progress_printer(args),
+        engine=args.engine,
+        substrate=args.substrate,
         retries=args.retries,
         timeout=args.timeout,
         journal=args.journal,
@@ -482,6 +484,18 @@ def main(argv=None) -> int:
              "strong-code variants (baseline is always included)",
     )
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--engine", default="vectorized", metavar="NAME",
+        help="simulation inner loop for Figure 4/5 cells — any name in "
+             "the engine registry (scalar, vectorized, batched); all "
+             "engines are pinned bit-identical, so this only changes "
+             "wall-clock time",
+    )
+    parser.add_argument(
+        "--substrate", default=None, metavar="NAME",
+        help="tag/LRU backing (object, soa); default = session default. "
+             "Bit-identical across substrates",
+    )
     parser.add_argument(
         "--jobs", type=_positive_int, default=1, metavar="N",
         help="worker processes for simulation matrices (default 1: serial; "

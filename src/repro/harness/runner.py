@@ -69,7 +69,7 @@ from repro.scenario.schemes import (
     make_scheme,
     scheme_names,
 )
-from repro.traces import workload_trace
+from repro.traces import workload_trace_memo
 from repro.utils.metrics import METRICS
 from repro.utils.rng import RngFactory
 
@@ -106,19 +106,20 @@ def fault_map_for(n_lines: int, seed: int) -> FaultMap:
     return FaultMap(n_lines=n_lines, rng=RngFactory(seed).stream("fault-map"))
 
 
-@lru_cache(maxsize=32)
 def trace_for(workload: str, accesses_per_cu: int, n_cus: int, seed: int):
     """The (deterministic) kernel trace for a (workload, seed) pair.
 
     Derived from the seed's ``"trace/<workload>"`` stream; memoised
     because every scheme cell of a workload replays the same trace.
-    Traces are read-only (the engine copies them into flat arrays).
+    Delegates to the fingerprint-keyed memo in
+    :func:`repro.traces.workloads.workload_trace_memo`, which (unlike
+    the name-blind ``lru_cache`` it replaced) keys on the registered
+    workload's generative identity, so plugin re-registration can
+    never serve a stale trace.  Traces are read-only (the engine
+    copies them into flat arrays).
     """
-    return workload_trace(
-        workload,
-        accesses_per_cu,
-        n_cus=n_cus,
-        rng=RngFactory(seed).stream(f"trace/{workload}"),
+    return workload_trace_memo(
+        workload, accesses_per_cu, n_cus=n_cus, seed=seed
     )
 
 

@@ -12,7 +12,13 @@ application semantics.
 from repro.traces.base import CuStream, Trace
 from repro.traces.generators import WorkloadSpec, generate_trace
 from repro.traces.io import load_trace, save_trace
-from repro.traces.workloads import WORKLOADS, workload_names, workload_trace
+from repro.traces.workloads import (
+    WORKLOADS,
+    trace_fingerprint,
+    workload_names,
+    workload_trace,
+    workload_trace_memo,
+)
 
 __all__ = [
     "CuStream",
@@ -21,7 +27,9 @@ __all__ = [
     "generate_trace",
     "WORKLOADS",
     "workload_names",
+    "trace_fingerprint",
     "workload_trace",
+    "workload_trace_memo",
     "save_trace",
     "load_trace",
 ]

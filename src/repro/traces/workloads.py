@@ -27,12 +27,16 @@ import numpy as np
 from repro.scenario.registries import WORKLOAD_REGISTRY
 from repro.traces.base import Trace
 from repro.traces.generators import WorkloadSpec, generate_trace
+from repro.utils.metrics import METRICS
+from repro.utils.rng import RngFactory
 
 __all__ = [
     "WORKLOADS",
     "register_workload",
+    "trace_fingerprint",
     "workload_names",
     "workload_trace",
+    "workload_trace_memo",
 ]
 
 _MB = 1024 * 1024
@@ -183,3 +187,74 @@ def workload_trace(
     if isinstance(entry, WorkloadSpec):
         return generate_trace(entry, accesses_per_cu, n_cus=n_cus, rng=rng)
     return entry(name, accesses_per_cu, n_cus, rng)
+
+
+# -- fingerprint-keyed trace memoization -------------------------------------
+
+#: fingerprint -> Trace, insertion-ordered (oldest evicted first).
+_TRACE_MEMO: Dict[tuple, Trace] = {}
+_TRACE_MEMO_MAX = 64
+
+
+def trace_fingerprint(
+    name: str, accesses_per_cu: int, n_cus: int, seed: int
+) -> tuple:
+    """Content key of a deterministic workload trace.
+
+    Captures everything the generated trace is a pure function of: the
+    shape arguments, the seed (the RNG stream is derived from it), and
+    the *generative identity* of whatever is currently registered under
+    ``name`` — the spec's full parameter tuple for built-in/declarative
+    workloads, the function's module-qualified name for plugin
+    generators.  Re-registering a workload with different parameters
+    therefore changes the fingerprint, so stale traces can never be
+    served.
+    """
+    try:
+        entry = WORKLOAD_REGISTRY.resolve(name)
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {workload_names()}"
+        ) from None
+    if isinstance(entry, WorkloadSpec):
+        identity: tuple = ("spec",) + tuple(
+            getattr(entry, field) for field in entry.__dataclass_fields__
+        )
+    else:
+        identity = (
+            "callable",
+            getattr(entry, "__module__", ""),
+            getattr(entry, "__qualname__", repr(entry)),
+        )
+    return (name, identity, accesses_per_cu, n_cus, seed)
+
+
+def workload_trace_memo(
+    name: str, accesses_per_cu: int, n_cus: int = 8, seed: int = 42
+) -> Trace:
+    """Memoized :func:`workload_trace` with the canonical RNG stream.
+
+    Every scheme cell of a campaign replays the same (workload, seed)
+    trace; generating it once per fingerprint (rather than once per
+    cell) removes the dominant setup cost of wide sweeps.  The RNG is
+    derived exactly as the serial runners always derived it —
+    ``RngFactory(seed).stream(f"trace/{name}")`` — so memoized and
+    freshly generated traces are bit-identical.  Traces are treated as
+    read-only by every engine (columns are copied into flat arrays).
+    """
+    key = trace_fingerprint(name, accesses_per_cu, n_cus, seed)
+    trace = _TRACE_MEMO.get(key)
+    if trace is not None:
+        METRICS.incr("traces.memo_hits")
+        return trace
+    METRICS.incr("traces.memo_misses")
+    trace = workload_trace(
+        name,
+        accesses_per_cu,
+        n_cus=n_cus,
+        rng=RngFactory(seed).stream(f"trace/{name}"),
+    )
+    if len(_TRACE_MEMO) >= _TRACE_MEMO_MAX:
+        del _TRACE_MEMO[next(iter(_TRACE_MEMO))]
+    _TRACE_MEMO[key] = trace
+    return trace

@@ -1,55 +1,78 @@
-"""Scalar-vs-vectorized engine equivalence.
+"""Engine equivalence: scalar vs vectorized vs batched.
 
-The acceptance contract for the fast path: for every workload and
-scheme, both inner loops produce bit-identical cycles, per-CU cycles
-and every CacheStats counter (L2 and all L1s).  Pinned here on three
-workloads x two schemes, plus directed edge cases (ragged streams,
-bank conflicts, empty traces).
+The acceptance contract for the fast paths: for every workload,
+scheme, substrate and engine, all inner loops produce bit-identical
+cycles, per-CU cycles and every CacheStats counter (L2 and all L1s).
+Pinned here on a workload x scheme matrix, a seeded randomized fuzz
+sweep, and directed edge cases (ragged streams, bank conflicts, empty
+traces, disabled ways, guard aborts, 100%-fallback schemes,
+write-back cells, multi-kernel runs).
 """
 
 import numpy as np
 import pytest
 
 from repro.cache.geometry import CacheGeometry
-from repro.cache.protection import UnprotectedScheme
+from repro.cache.protection import ProtectionScheme, UnprotectedScheme
 from repro.gpu.config import GpuConfig
 from repro.gpu.engine import GpuSimulator
-from repro.harness.runner import fault_map_for, make_scheme
+from repro.harness.runner import CellSpec, fault_map_for, make_scheme, run_cell
 from repro.traces import workload_trace
 from repro.traces.base import CuStream, Trace
+from repro.utils.metrics import METRICS
 from repro.utils.rng import RngFactory
 
+ENGINES = ("scalar", "vectorized", "batched")
+SUBSTRATES = ("object", "soa")
 WORKLOADS = ("fft", "xsbench", "nekbone")
-SCHEMES = ("baseline", "killi_1:64")
+SCHEMES = ("baseline", "killi_1:64", "dected")
 
 
-def run_with(engine: str, workload: str, scheme_name: str, seed: int = 21):
+def run_with(
+    engine: str,
+    workload: str,
+    scheme_name: str,
+    seed: int = 21,
+    substrate: str = "soa",
+    accesses: int = 700,
+):
     gpu_config = GpuConfig()
     fault_map = fault_map_for(gpu_config.l2.n_lines, seed)
     trace = workload_trace(
-        workload, 700, n_cus=gpu_config.n_cus,
+        workload, accesses, n_cus=gpu_config.n_cus,
         rng=RngFactory(seed).stream(f"trace/{workload}"),
     )
     scheme = make_scheme(
         scheme_name, gpu_config, fault_map, 0.625,
         RngFactory(seed).child(f"{workload}/{scheme_name}"),
     )
-    simulator = GpuSimulator(gpu_config, scheme, engine=engine)
+    simulator = GpuSimulator(
+        gpu_config, scheme, engine=engine, substrate=substrate
+    )
     result = simulator.run(trace)
     return result, simulator
 
 
+def result_key(result, simulator):
+    return (
+        result.cycles,
+        result.per_cu_cycles,
+        result.instructions,
+        result.l2_stats.as_dict(),
+        [s.as_dict() for s in result.l1_stats],
+        simulator.l2.memory_reads,
+        simulator.l2.memory_writes,
+    )
+
+
 def assert_identical(workload: str, scheme_name: str, **kwargs):
-    scalar, scalar_sim = run_with("scalar", workload, scheme_name, **kwargs)
-    vector, vector_sim = run_with("vectorized", workload, scheme_name, **kwargs)
-    assert scalar.cycles == vector.cycles
-    assert scalar.per_cu_cycles == vector.per_cu_cycles
-    assert scalar.instructions == vector.instructions
-    assert scalar.l2_stats.as_dict() == vector.l2_stats.as_dict()
-    for a, b in zip(scalar.l1_stats, vector.l1_stats):
-        assert a.as_dict() == b.as_dict()
-    assert scalar_sim.l2.memory_reads == vector_sim.l2.memory_reads
-    assert scalar_sim.l2.memory_writes == vector_sim.l2.memory_writes
+    reference = result_key(*run_with("scalar", workload, scheme_name, **kwargs))
+    for engine in ENGINES[1:]:
+        for substrate in SUBSTRATES:
+            got = result_key(*run_with(
+                engine, workload, scheme_name, substrate=substrate, **kwargs
+            ))
+            assert got == reference, (engine, substrate, workload, scheme_name)
 
 
 class TestWorkloadSchemeMatrix:
@@ -57,6 +80,51 @@ class TestWorkloadSchemeMatrix:
     @pytest.mark.parametrize("scheme", SCHEMES)
     def test_bit_identical(self, workload, scheme):
         assert_identical(workload, scheme)
+
+
+class TestRandomizedSweep:
+    """Seeded fuzz: random (workload, scheme, seed) cells, all engines.
+
+    Every combination must match the scalar/object reference exactly —
+    cycles and the full stats dicts (``elapsed_s`` excluded).  The
+    scheme sample covers the inert baseline, all three MBIST-oracle
+    families (per-way CORRECTED replay, disabled ways, FLAIR's
+    configuration-gated filtering) and two Killi ratios (guarded
+    replay, DFH warmup fallback).
+    """
+
+    CASES = [
+        ("xsbench", "baseline", 3),
+        ("fft", "dected", 4),
+        ("lulesh", "flair", 5),
+        ("snap", "msecc", 6),
+        ("comd", "killi_1:8", 7),
+        ("minife", "killi_1:64", 8),
+        ("hpgmg", "dected", 9),
+        ("pennant", "killi_1:8", 10),
+    ]
+
+    @pytest.mark.parametrize("workload,scheme,seed", CASES)
+    def test_fuzzed_cell(self, workload, scheme, seed):
+        rng = np.random.default_rng(seed)
+        accesses = int(rng.integers(300, 900))
+
+        def cell(engine, substrate):
+            spec = CellSpec(
+                workload=workload, scheme=scheme, voltage=0.625, seed=seed,
+                accesses_per_cu=accesses, engine=engine, substrate=substrate,
+            )
+            d = run_cell(spec).to_dict()
+            d.pop("elapsed_s", None)
+            d.pop("from_cache", None)
+            return d
+
+        reference = cell("scalar", "object")
+        for engine in ENGINES:
+            for substrate in SUBSTRATES:
+                if (engine, substrate) == ("scalar", "object"):
+                    continue
+                assert cell(engine, substrate) == reference, (engine, substrate)
 
 
 def make_trace(addrs_per_cu, stores=None, gaps=None) -> Trace:
@@ -71,6 +139,17 @@ def make_trace(addrs_per_cu, stores=None, gaps=None) -> Trace:
     return Trace("directed", streams)
 
 
+def random_trace(rng, n_cus=3, footprint=256 * 1024):
+    """Fuzzed directed trace: ragged lengths, mixed stores, gaps."""
+    addrs, stores, gaps = [], [], []
+    for _ in range(n_cus):
+        n = int(rng.integers(0, 120))
+        addrs.append((rng.integers(0, footprint // 64, n) * 64).tolist())
+        stores.append((rng.random(n) < 0.3).tolist())
+        gaps.append(rng.integers(0, 4, n).tolist())
+    return make_trace(addrs, stores=stores, gaps=gaps)
+
+
 def small_config(**kwargs) -> GpuConfig:
     return GpuConfig(
         n_cus=3,
@@ -81,13 +160,24 @@ def small_config(**kwargs) -> GpuConfig:
 
 
 class TestDirectedEdgeCases:
-    def run_both(self, config, trace):
+    def run_all(self, config, trace, scheme_factory=UnprotectedScheme,
+                prepare=None):
         results = []
-        for engine in ("scalar", "vectorized"):
-            sim = GpuSimulator(config, UnprotectedScheme(), engine=engine)
-            r = sim.run(trace)
-            results.append((r.cycles, r.per_cu_cycles, r.l2_stats.as_dict()))
+        for engine in ENGINES:
+            for substrate in SUBSTRATES:
+                sim = GpuSimulator(config, scheme_factory(), engine=engine,
+                                   substrate=substrate)
+                if prepare is not None:
+                    prepare(sim)
+                r = sim.run(trace)
+                results.append((r.cycles, r.per_cu_cycles,
+                                r.l2_stats.as_dict()))
         return results
+
+    def assert_all_equal(self, results):
+        for got in results[1:]:
+            assert got == results[0]
+        return results[0]
 
     def test_ragged_stream_lengths(self):
         # CUs exhaust at different rounds; the tail interleave must match.
@@ -95,14 +185,12 @@ class TestDirectedEdgeCases:
             [[64 * i for i in range(17)], [0], [64 * i for i in range(5)]],
             gaps=[[1] * 17, [7], [3] * 5],
         )
-        scalar, vector = self.run_both(small_config(), trace)
-        assert scalar == vector
+        self.assert_all_equal(self.run_all(small_config(), trace))
 
     def test_empty_streams(self):
         trace = make_trace([[], [], []])
-        scalar, vector = self.run_both(small_config(), trace)
-        assert scalar == vector
-        assert scalar[0] == 0
+        ref = self.assert_all_equal(self.run_all(small_config(), trace))
+        assert ref[0] == 0
 
     def test_bank_conflicts(self):
         # All CUs hammer the same bank every round: queueing delays on.
@@ -111,8 +199,7 @@ class TestDirectedEdgeCases:
         trace = make_trace(
             [[stride * i for i in range(12)] for _ in range(3)],
         )
-        scalar, vector = self.run_both(config, trace)
-        assert scalar == vector
+        self.assert_all_equal(self.run_all(config, trace))
 
     def test_stores_and_loads_mixed(self):
         trace = make_trace(
@@ -122,8 +209,149 @@ class TestDirectedEdgeCases:
                     [True, True, False, False]],
             gaps=[[2, 0, 5, 1], [0, 0, 0, 9], [1, 1, 1, 1]],
         )
-        scalar, vector = self.run_both(small_config(), trace)
-        assert scalar == vector
+        self.assert_all_equal(self.run_all(small_config(), trace))
+
+    def test_fuzzed_directed_traces(self):
+        for seed in range(6):
+            rng = np.random.default_rng(100 + seed)
+            trace = random_trace(rng)
+            config = small_config(
+                model_bank_conflicts=bool(seed % 2),
+            )
+            self.assert_all_equal(self.run_all(config, trace))
+
+    def test_disabled_ways_still_batch(self):
+        """Partially-disabled sets replay (disabled ways never fill)."""
+        rng = np.random.default_rng(42)
+        trace = random_trace(rng, footprint=32 * 1024)
+
+        def disable_some(sim):
+            for set_index in range(0, sim.l2.geometry.n_sets, 3):
+                sim.l2.tags.disable(set_index, 0)
+                sim.l2.tags.disable(set_index, 5)
+
+        self.assert_all_equal(self.run_all(
+            small_config(), trace, prepare=disable_some,
+        ))
+
+    def test_multi_kernel_state_carryover(self):
+        rng = np.random.default_rng(77)
+        traces = [random_trace(rng), random_trace(rng)]
+        results = []
+        for engine in ENGINES:
+            for substrate in SUBSTRATES:
+                sim = GpuSimulator(small_config(), UnprotectedScheme(),
+                                   engine=engine, substrate=substrate)
+                rs = sim.run_kernels(traces)
+                results.append([
+                    (r.cycles, r.per_cu_cycles, r.l2_stats.as_dict())
+                    for r in rs
+                ])
+        for got in results[1:]:
+            assert got == results[0]
+
+
+class FallbackScheme(UnprotectedScheme):
+    """Overrides a behavioural hook: every replay probe must refuse."""
+
+    def __init__(self):
+        super().__init__()
+        self.fills = 0
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self.fills += 1
+
+
+class AbortingScheme(UnprotectedScheme):
+    """Spurious guard aborts: the guard may abort any time (the engine
+    then falls back per-access, which is always exact), so an
+    over-eager guard must never change results — only slow things
+    down.  Way 0 is 'unsafe' and every third line 'unmaskable'."""
+
+    def set_replay_profile(self, set_index: int):
+        def fill_ok(way, line):
+            return line % 3 != 1
+
+        return ((False, 0, 0), None, (frozenset([0]), fill_ok))
+
+
+class TestBatchedFallback:
+    def _counters(self):
+        snap = METRICS.snapshot()
+        return snap.get("counters", snap)
+
+    def run_batched_vs_scalar(self, scheme_factory, trace, config=None):
+        config = config or small_config()
+        outs = []
+        for engine in ("scalar", "batched"):
+            sim = GpuSimulator(config, scheme_factory(), engine=engine,
+                               substrate="soa")
+            r = sim.run(trace)
+            outs.append((r.cycles, r.per_cu_cycles, r.l2_stats.as_dict()))
+        assert outs[0] == outs[1]
+
+    def test_hook_override_forces_full_fallback(self):
+        """A scheme with any overridden hook batches nothing."""
+        rng = np.random.default_rng(11)
+        trace = random_trace(rng)
+        METRICS.enable(propagate_env=False)
+        try:
+            METRICS.reset()
+            self.run_batched_vs_scalar(FallbackScheme, trace)
+            counters = self._counters()
+            assert counters.get("engine.batched.accesses_batched", 0) == 0
+            n = sum(len(s.addrs) for s in trace.streams)
+            residue = counters.get("engine.batched.accesses_fallback", 0)
+            assert 0 < residue <= n
+        finally:
+            METRICS.disable()
+
+    def test_spurious_guard_aborts_are_exact(self):
+        rng = np.random.default_rng(12)
+        trace = random_trace(rng, footprint=32 * 1024)
+        METRICS.enable(propagate_env=False)
+        try:
+            METRICS.reset()
+            self.run_batched_vs_scalar(AbortingScheme, trace)
+            counters = self._counters()
+            # The guard aborts constantly but sets without unsafe events
+            # still batch.
+            assert counters.get("engine.batched.accesses_batched", 0) > 0
+            assert counters.get("engine.batched.accesses_fallback", 0) > 0
+        finally:
+            METRICS.disable()
+
+    def test_small_probe_interval(self, monkeypatch):
+        """Aggressive re-probing changes scheduling, never results."""
+        monkeypatch.setattr(GpuSimulator, "BATCH_PROBE_INTERVAL", 1)
+        monkeypatch.setattr(GpuSimulator, "BATCH_PROBE_INTERVAL_MAX", 2)
+        assert_identical("xsbench", "killi_1:64", accesses=400)
+
+    def test_corrected_way_replay(self):
+        """Oracle sets containing correctable faulty ways batch with
+        per-way CORRECTED hits — and those hits actually occur."""
+        result, _ = run_with("batched", "xsbench", "dected")
+        assert result.l2_stats.as_dict()["corrected_reads"] > 0
+        assert_identical("xsbench", "dected")
+
+    def test_write_back_cells_fall_back(self):
+        """The write-back L2 swaps the access protocol: the batched
+        engine must take the exact per-access path wholesale."""
+        for scheme in ("killi_1:8", "killi_1:64"):
+            ref = None
+            for engine in ENGINES:
+                spec = CellSpec(
+                    workload="fft", scheme=scheme, seed=13,
+                    accesses_per_cu=400, write_back=True, engine=engine,
+                    substrate="soa",
+                )
+                d = run_cell(spec).to_dict()
+                d.pop("elapsed_s", None)
+                d.pop("from_cache", None)
+                if ref is None:
+                    ref = d
+                else:
+                    assert d == ref, (scheme, engine)
 
 
 class TestEngineSelection:
@@ -140,3 +368,10 @@ class TestEngineSelection:
         trace = make_trace([[0, 64], [128], [192]])
         result = sim.run(trace, engine="scalar")
         assert result.cycles > 0
+
+    def test_registry_lists_all_engines(self):
+        from repro.scenario.registries import ENGINE_REGISTRY
+
+        names = ENGINE_REGISTRY.names()
+        for engine in ENGINES:
+            assert engine in names
