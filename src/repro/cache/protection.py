@@ -207,13 +207,16 @@ class ProtectionScheme:
           of ``info[0]``'s latency class.  Lets statically-
           characterised schemes (the MBIST oracles) batch sets that
           *contain* faulty-but-correctable lines;
-        - ``guard`` — None, or ``(unsafe_ways, fill_ok)`` passed to
-          :func:`repro.cache.soa.replay_clean_set`, which aborts the
-          replay on the rare events that cannot be replayed out of
-          order (shared-RNG draws, unmasked fills).  With a guard the
-          inertness condition need not be monotone in itself — the
-          kernel re-checks every event — but everything *outside* the
-          guarded events must still be inert for the kernel remainder.
+        - ``guard`` — None, or ``(unsafe_ways, fill_ok)`` — optionally
+          ``(unsafe_ways, fill_ok, fills_ok)`` with a batched
+          ``fills_ok(ways, lines) -> bool array`` form of ``fill_ok``
+          — passed to :func:`repro.cache.soa.replay_clean_set`, which
+          aborts the replay on the rare events that cannot be replayed
+          out of order (shared-RNG draws, unmasked fills).  With a
+          guard the inertness condition need not be monotone in itself
+          — the kernel re-checks every event — but everything
+          *outside* the guarded events must still be inert for the
+          kernel remainder.
 
         The default wraps :meth:`set_replay_info`: uniform hits, no
         guard, which keeps every existing scheme's behaviour.
@@ -222,6 +225,19 @@ class ProtectionScheme:
         if info is None:
             return None
         return (info, None, None)
+
+    def batch_interpreter(self, cache):
+        """Scheme-exact batch interpreter for the engine, or None.
+
+        A scheme that can simulate *arbitrary* (non-inert) access
+        subsequences ahead of the per-access loop — replicating every
+        state, stat and RNG effect bit-exactly — returns an
+        interpreter object here (see
+        :mod:`repro.core.killi_replay`).  None (the default) keeps the
+        probe-based set-replay path as the only batching the engine
+        attempts for this scheme.
+        """
+        return None
 
     def apply_replay_bulk(self, info, count: int) -> None:
         """Apply ``count`` memoized hits' scheme-side effects at once.

@@ -473,7 +473,14 @@ def replay_clean_set(
         unsafe way consumes shared RNG, and a fill into an unsafe way
         stays replayable only while ``fill_ok(way, line_no)`` says the
         deterministic masking coins leave no stored error.  Either
-        event aborts the replay.
+        event aborts the replay.  A 3-tuple ``(unsafe_ways, fill_ok,
+        fills_ok)`` additionally supplies a batched
+        ``fills_ok(ways, line_nos) -> bool array`` form; unsafe fills
+        are then *deferred* — recorded during the replay and checked
+        in one vectorized call — which is sound because fills are
+        deterministic and everything simulated past the first dirty
+        fill is discarded anyway (the abort offset returned is always
+        the earliest unreplayable event).
 
     Returns ``(resident, touch_order, read_hits, write_hits, evictions,
     miss_positions, corrected_positions)`` on success: the final
@@ -514,10 +521,31 @@ def replay_clean_set(
         if isinstance(corrected_ways, frozenset)
         else frozenset(corrected_ways)
     ) if corrected_ways is not None else _NO_WAYS
+    fills_ok = None
     if guard is not None:
-        unsafe, fill_ok = guard
+        if len(guard) == 3:
+            unsafe, fill_ok, fills_ok = guard
+        else:
+            unsafe, fill_ok = guard
     else:
         unsafe, fill_ok = _NO_WAYS, None
+    # Deferred unsafe fills (batched guard form): (way, line, offset)
+    # triples checked in one vectorized call instead of a Python
+    # closure call per fill.
+    d_ways: list = []
+    d_lines: list = []
+    d_offsets: list = []
+
+    def first_dirty_fill() -> int:
+        """Offset of the earliest deferred fill that would store
+        unmasked errors, or -1 if all are clean."""
+        if not d_ways:
+            return -1
+        ok = fills_ok(d_ways, d_lines)
+        if ok.all():
+            return -1
+        return d_offsets[int(np.argmin(ok))]
+
     get = resident.get
     for k, i in enumerate(indices):
         line = lines[i]
@@ -525,7 +553,11 @@ def replay_clean_set(
         if stores[i]:
             if way is not None:
                 if way in unsafe:
-                    return k  # write hit would draw shared RNG: abort
+                    # Write hit would draw shared RNG: abort — unless
+                    # an earlier deferred fill already broke the
+                    # replay, in which case that offset wins.
+                    dirty = first_dirty_fill() if fills_ok is not None else -1
+                    return dirty if 0 <= dirty < k else k
                 write_hits += 1
                 del resident[line]
                 resident[line] = way
@@ -543,8 +575,13 @@ def replay_clean_set(
             else:
                 victim = next(iter(resident))
                 way = resident[victim]
-            if way in unsafe and not fill_ok(way, line):
-                return k  # fill would store unmasked errors: abort
+            if way in unsafe:
+                if fills_ok is not None:
+                    d_ways.append(way)
+                    d_lines.append(line)
+                    d_offsets.append(k)
+                elif not fill_ok(way, line):
+                    return k  # fill would store unmasked errors: abort
             miss_append(i)
             if free_i < n_free:
                 free_i += 1
@@ -553,6 +590,10 @@ def replay_clean_set(
                 evictions += 1
             resident[line] = way
             touched[way] = True
+    if fills_ok is not None:
+        dirty = first_dirty_fill()
+        if dirty >= 0:
+            return dirty
     touch_order = [way for way in resident.values() if touched[way]]
     return (
         resident,

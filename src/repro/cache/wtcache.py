@@ -96,10 +96,15 @@ class WriteThroughCache:
         self.memory_reads = 0
         self.memory_writes = 0
         # Epoch-cached hit path: per-line stamp + replay tuple.  A
-        # stamp equal to the current epoch means the memoized info is
-        # valid; cache-visible per-line events reset the stamp to -1
-        # and scheme-side events (DFH transitions, resets) bump the
-        # epoch, invalidating every stamp at once.
+        # stamp equal to the current epoch *sum* (global epoch + the
+        # line's set epoch) means the memoized info is valid;
+        # cache-visible per-line events reset the stamp to -1,
+        # set-local scheme events (a DFH transition) bump that set's
+        # epoch, and global scheme events (resets, external error
+        # injection) bump the global epoch, invalidating every stamp
+        # at once.  Both counters are monotone nondecreasing, so the
+        # sum strictly increases on any relevant bump and a stale
+        # stamp can never read as valid again.
         self._assoc = geometry.associativity
         self._n_sets = geometry.n_sets
         self._line_bytes = geometry.line_bytes
@@ -110,6 +115,7 @@ class WriteThroughCache:
         self._lat_miss = self.latencies.miss
         self._lat_tag = self.latencies.tag
         self.epoch = 0
+        self._set_epoch = [0] * geometry.n_sets
         n_lines = geometry.n_sets * geometry.associativity
         self._hit_stamp = [-1] * n_lines
         self._hit_info = [None] * n_lines
@@ -133,6 +139,16 @@ class WriteThroughCache:
         """Invalidate every memoized hit (scheme-side state changed)."""
         self.epoch += 1
 
+    def bump_set_epoch(self, set_index: int) -> None:
+        """Invalidate one set's memoized hits (set-local scheme event).
+
+        A DFH transition changes only its own line's classification;
+        lines outside the set keep their memoized outcomes, so a busy
+        kernel no longer re-dispatches every memoized hit in the L2
+        each time a single line somewhere retrains.
+        """
+        self._set_epoch[set_index] += 1
+
     # -- public access API ------------------------------------------------
 
     def read(self, addr: int) -> int:
@@ -142,7 +158,7 @@ class WriteThroughCache:
         if way is not None:
             set_index = (addr // self._line_bytes) % self._n_sets
             idx = set_index * self._assoc + way
-            if self._hit_stamp[idx] == self.epoch:
+            if self._hit_stamp[idx] == self.epoch + self._set_epoch[set_index]:
                 # Memoized steady-state hit: skip scheme dispatch.
                 info = self._hit_info[idx]
                 self.stats.read_hits += 1
@@ -178,15 +194,15 @@ class WriteThroughCache:
     def _memoize(self, idx: int, set_index: int, way: int) -> None:
         """Record the line's replay tuple if the scheme declares it stable.
 
-        Queried *after* ``on_read_hit`` returned (and ``self.epoch`` is
+        Queried *after* ``on_read_hit`` returned (and the epoch sum is
         read afterwards too), so transitions made during the call —
         e.g. Killi's INITIAL -> STABLE_0 fast-clean promotion, which
-        bumps the epoch — can never leave a stale-valid entry.
+        bumps the set's epoch — can never leave a stale-valid entry.
         """
         info = self.scheme.hit_replay_info(set_index, way)
         if info is not None:
             self._hit_info[idx] = info
-            self._hit_stamp[idx] = self.epoch
+            self._hit_stamp[idx] = self.epoch + self._set_epoch[set_index]
 
     def write(self, addr: int) -> int:
         """Write access (write-through, no allocate); returns latency.

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 __all__ = ["EccCache"]
 
 #: An ECC-cache tag: (L2 set index, L2 way) of the line it protects.
@@ -41,9 +43,23 @@ class EccCache:
         Total entry count (L2 lines / ecc_ratio).
     assoc:
         Associativity (Table 3: 4).
+    l2_shape:
+        Optional ``(n_l2_sets, l2_assoc)`` of the protected cache.
+        When given, flat numpy membership mirrors are maintained
+        alongside the key lists: a per-L2-line membership flag and a
+        per-L2-set live-entry count, making :meth:`contains` and
+        :meth:`has_entries_for` O(1) scalar probes instead of key-list
+        scans — the batched engine hits both on every set-inertness
+        check.  The mirrors are pure acceleration; the MRU-ordered key
+        lists stay authoritative for replacement.
     """
 
-    def __init__(self, n_entries: int, assoc: int = 4):
+    def __init__(
+        self,
+        n_entries: int,
+        assoc: int = 4,
+        l2_shape: Optional[Tuple[int, int]] = None,
+    ):
         if n_entries < assoc:
             raise ValueError("need at least one full set of entries")
         if n_entries % assoc:
@@ -56,6 +72,18 @@ class EccCache:
         self.allocations = 0
         self.evictions = 0
         self.accesses = 0
+        if l2_shape is not None:
+            n_l2_sets, l2_assoc = l2_shape
+            self._l2_assoc = l2_assoc
+            # Scalar reads/writes go through memoryviews: plain-int
+            # results at list-indexing speed, with the numpy arrays
+            # retained for vectorized consumers.
+            self._member_np = np.zeros(n_l2_sets * l2_assoc, dtype=bool)
+            self._member = memoryview(self._member_np)
+            self._count_np = np.zeros(n_l2_sets, dtype=np.int32)
+            self._count_for_set = memoryview(self._count_np)
+        else:
+            self._l2_assoc = None
 
     def index_of(self, l2_set: int) -> int:
         """ECC set servicing an L2 set (address-derived)."""
@@ -63,15 +91,21 @@ class EccCache:
 
     def contains(self, l2_set: int, l2_way: int) -> bool:
         """Is (l2_set, l2_way) currently protected?"""
+        if self._l2_assoc is not None:
+            return self._member[l2_set * self._l2_assoc + l2_way]
         return (l2_set, l2_way) in self._sets[l2_set % self.n_sets]
 
     def has_entries_for(self, l2_set: int) -> bool:
         """Does any way of the L2 set currently hold an entry?
 
-        One scan of the (≤ assoc entries) servicing ECC set — the
-        batched engine's set-inertness probe: a set with no entries can
-        never be invalidated by another set's ECC-cache contention.
+        O(1) against the per-set live-entry counter when the L2 shape
+        is known (one scan of the ≤ assoc servicing entries otherwise)
+        — the batched engine's set-inertness probe: a set with no
+        entries can never be invalidated by another set's ECC-cache
+        contention.
         """
+        if self._l2_assoc is not None:
+            return self._count_for_set[l2_set] != 0
         for key in self._sets[l2_set % self.n_sets]:
             if key[0] == l2_set:
                 return True
@@ -104,14 +138,28 @@ class EccCache:
             evicted = entries.pop()
             self.evictions += 1
         entries.insert(0, key)
+        if self._l2_assoc is not None:
+            assoc = self._l2_assoc
+            self._member[l2_set * assoc + l2_way] = True
+            self._count_for_set[l2_set] += 1
+            if evicted is not None:
+                self._member[evicted[0] * assoc + evicted[1]] = False
+                self._count_for_set[evicted[0]] -= 1
         return evicted
 
     def remove(self, l2_set: int, l2_way: int) -> bool:
         """Free the entry for (l2_set, l2_way); True if one existed."""
+        if self._l2_assoc is not None and not self._member[
+            l2_set * self._l2_assoc + l2_way
+        ]:
+            return False
         entries = self._sets[l2_set % self.n_sets]
         key = (l2_set, l2_way)
         if key in entries:
             entries.remove(key)
+            if self._l2_assoc is not None:
+                self._member[l2_set * self._l2_assoc + l2_way] = False
+                self._count_for_set[l2_set] -= 1
             return True
         return False
 
@@ -119,6 +167,9 @@ class EccCache:
         """Drop every entry (DFH reset)."""
         for entries in self._sets:
             entries.clear()
+        if self._l2_assoc is not None:
+            self._member_np[:] = False
+            self._count_np[:] = 0
 
     @property
     def occupancy(self) -> int:

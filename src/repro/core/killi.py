@@ -90,22 +90,41 @@ class KilliScheme(ProtectionScheme):
             interleaved_parity=self.config.interleaved_parity,
         )
         self.ecc = EccCache(
-            self.config.ecc_entries(geometry.n_lines), self.config.ecc_assoc
+            self.config.ecc_entries(geometry.n_lines),
+            self.config.ecc_assoc,
+            l2_shape=(geometry.n_sets, geometry.associativity),
         )
         self.soft_injector = soft_injector
         self._assoc = geometry.associativity
-        # DFH states live in a plain list: every access path does
-        # scalar probes/writes, where list indexing beats numpy scalar
-        # access severalfold.  Entries are always plain ints (0..3).
-        self.dfh = [int(Dfh.INITIAL)] * geometry.n_lines
-        # Per-set count of lines in a DFH state other than INITIAL;
-        # 0 means every way still carries the same fill priority.
-        self._off_initial_in_set = [0] * geometry.n_sets
-        # Reference row for the set-inertness probe's one-slice compare.
-        self._all_stable0 = [_STABLE_0] * self._assoc
-        self.transitions: dict = {}
+        # DFH states live in a flat int8 array so vectorized consumers
+        # (histograms, the batched classification kernel) can read them
+        # wholesale.  Scalar probes/writes — every access path — go
+        # through a memoryview over the same buffer: plain-int results
+        # at list-indexing speed, where numpy scalar access is
+        # severalfold slower.  Entries are always plain ints (0..3).
+        self._dfh_np = np.full(geometry.n_lines, _INITIAL, dtype=np.int8)
+        self.dfh = memoryview(self._dfh_np)
+        # Per-set DFH occupancy counters, maintained incrementally by
+        # _set_dfh so the set-inertness probes are O(1):
+        # - off-initial: lines in a state other than INITIAL (0 means
+        #   every way still carries the same fill priority);
+        # - unstable: lines in INITIAL or STABLE_1 (0 means every way
+        #   is STABLE_0 or DISABLED — the stabilised-set condition);
+        # - disabled: lines in DISABLED.
+        self._off_initial_np = np.zeros(geometry.n_sets, dtype=np.int32)
+        self._off_initial_in_set = memoryview(self._off_initial_np)
+        self._unstable_np = np.full(geometry.n_sets, self._assoc, np.int32)
+        self._unstable_in_set = memoryview(self._unstable_np)
+        self._dfh_disabled_np = np.zeros(geometry.n_sets, dtype=np.int32)
+        self._dfh_disabled_in_set = memoryview(self._dfh_disabled_np)
+        # Transition counters as a dense 4x4 (old, new) array; the
+        # dict-of-name-tuples shape tests and the harness consume is a
+        # property view built on demand.
+        self._transitions_np = np.zeros((4, 4), dtype=np.int64)
+        self._transitions_mv = memoryview(self._transitions_np)
         self.sdc_events = 0
         self.hits_served = 0
+        self._interp = None
 
     def attach(self, cache) -> None:
         super().attach(cache)
@@ -165,17 +184,31 @@ class KilliScheme(ProtectionScheme):
         # old/new compare and index as ints (IntEnum callers included).
         if old == new:
             return
-        self.dfh[line_id] = int(new)
+        old = int(old)
+        new = int(new)
+        self.dfh[line_id] = new
+        set_index = line_id // self._assoc
         if old == _INITIAL:
-            self._off_initial_in_set[line_id // self._assoc] += 1
+            self._off_initial_in_set[set_index] += 1
         elif new == _INITIAL:
-            self._off_initial_in_set[line_id // self._assoc] -= 1
-        key = (_NAMES[old], _NAMES[new])
-        self.transitions[key] = self.transitions.get(key, 0) + 1
+            self._off_initial_in_set[set_index] -= 1
+        if (old == _INITIAL or old == _STABLE_1) != (
+            new == _INITIAL or new == _STABLE_1
+        ):
+            self._unstable_in_set[set_index] += (
+                1 if (new == _INITIAL or new == _STABLE_1) else -1
+            )
+        if old == _DISABLED:
+            self._dfh_disabled_in_set[set_index] -= 1
+        elif new == _DISABLED:
+            self._dfh_disabled_in_set[set_index] += 1
+        self._transitions_mv[old, new] += 1
         if self.cache is not None:
-            # A DFH transition changes classification behaviour:
-            # invalidate every memoized hit in the epoch cache.
-            self.cache.bump_epoch()
+            # A DFH transition changes this line's classification
+            # behaviour: invalidate the memoized hits of its own set.
+            # Memoized outcomes elsewhere in the L2 are untouched by a
+            # single line retraining, so they stay valid.
+            self.cache.bump_set_epoch(set_index)
 
     def _apply_classification(
         self, set_index: int, way: int, line_id: int, old: Dfh, cls: Classification
@@ -369,10 +402,14 @@ class KilliScheme(ProtectionScheme):
         """
         if self.soft_injector is not None:
             return None
+        # All-STABLE_0 <=> no unstable (b'01/b'10) and no disabled way:
+        # two O(1) counter probes instead of a slice compare.
+        if self._unstable_in_set[set_index] or self._dfh_disabled_in_set[
+            set_index
+        ]:
+            return None
         base = set_index * self._assoc
         stop = base + self._assoc
-        if self.dfh[base:stop] != self._all_stable0:
-            return None
         errors = self.errors
         if errors.active_faults_in_range(base, stop):
             return None
@@ -403,23 +440,24 @@ class KilliScheme(ProtectionScheme):
           with the *shared* RNG (``unsafe_ways`` -> kernel abort);
         - a fill whose deterministic masking coins leave unmasked
           faults would store a non-empty error vector, breaking the
-          fast-clean invariant (``fill_ok`` -> kernel abort).  Fills
-          are RNG-free, so predicting them with
-          ``fill_would_be_clean`` is exact; the salt replicates
-          ``on_fill``'s (the cache tag, ``line // n_sets``).
+          fast-clean invariant (batched ``fills_ok`` check -> kernel
+          abort at the first such fill).  Fills are RNG-free, so
+          predicting them with ``fills_would_be_clean`` is exact; the
+          salt replicates ``on_fill``'s (the cache tag,
+          ``line // n_sets``).
 
         Aborted replays are discarded wholesale; the per-access path
         then consumes the prefix plus the aborting access.
         """
         if self.soft_injector is not None:
             return None
+        # Stabilised <=> no way in b'01/b'10: one O(1) counter probe.
+        # DISABLED ways are allowed here, unlike set_replay_info (they
+        # are inert — cleared at disable time and never offered again).
+        if self._unstable_in_set[set_index]:
+            return None
         base = set_index * self._assoc
         stop = base + self._assoc
-        dfh = self.dfh[base:stop]
-        if dfh != self._all_stable0 and any(
-            v != _STABLE_0 and v != _DISABLED for v in dfh
-        ):
-            return None
         errors = self.errors
         if errors.dirty_in_range(base, stop):
             return None
@@ -427,17 +465,48 @@ class KilliScheme(ProtectionScheme):
             return None
         if not errors.active_faults_in_range(base, stop):
             return ((False, 1, 0), None, None)
+        dfh = self.dfh
         unsafe = frozenset(
             way
             for way in range(self._assoc)
-            if dfh[way] == _STABLE_0 and errors.slot_has_active(base + way)
+            if dfh[base + way] == _STABLE_0
+            and errors.slot_has_active(base + way)
         )
         n_sets = self.geometry.n_sets
 
         def fill_ok(way: int, line: int) -> bool:
             return errors.fill_would_be_clean(base + way, line // n_sets)
 
-        return ((False, 1, 0), None, (unsafe, fill_ok))
+        def fills_ok(ways, line_nos) -> np.ndarray:
+            slots = base + np.asarray(ways, dtype=np.int64)
+            salts = np.asarray(line_nos, dtype=np.int64) // n_sets
+            return errors.fills_would_be_clean(slots, salts)
+
+        return ((False, 1, 0), None, (unsafe, fill_ok, fills_ok))
+
+    def batch_interpreter(self, cache):
+        """Cluster-exact shadow interpreter for the batched engine.
+
+        Unlike the guarded set replay above, the interpreter
+        (:class:`repro.core.killi_replay.KilliClusterInterpreter`)
+        handles *every* set — DFH warmup, classification and ECC-cache
+        contention included — aborting only at shared-RNG write hits.
+        Gated to exactly this class (subclasses may change semantics
+        the interpreter replicates) and to runs without a soft-error
+        injector (whose per-hit sampling draws shared RNG).
+        """
+        if type(self) is not KilliScheme:
+            return None
+        if self.soft_injector is not None:
+            return None
+        if cache is not self.cache:
+            return None
+        if self._interp is None:
+            from repro.core.killi_replay import KilliClusterInterpreter
+
+            self._interp = KilliClusterInterpreter(self, cache)
+        self._interp.begin_kernel()
+        return self._interp
 
     def on_write_hit(self, set_index: int, way: int) -> None:
         line_id = set_index * self._assoc + way
@@ -494,8 +563,10 @@ class KilliScheme(ProtectionScheme):
         return self._off_initial_in_set[set_index] == 0
 
     def on_reset(self) -> None:
-        self.dfh[:] = [int(Dfh.INITIAL)] * len(self.dfh)
-        self._off_initial_in_set = [0] * self.geometry.n_sets
+        self._dfh_np[:] = _INITIAL
+        self._off_initial_np[:] = 0
+        self._unstable_np[:] = self._assoc
+        self._dfh_disabled_np[:] = 0
         self.ecc.clear()
         self.errors.clear_all()
 
@@ -519,11 +590,28 @@ class KilliScheme(ProtectionScheme):
 
     # -- diagnostics ----------------------------------------------------------
 
+    @property
+    def transitions(self) -> dict:
+        """DFH transition counts as ``{(old_name, new_name): count}``.
+
+        A dict view over the dense 4x4 counter array; only transitions
+        that occurred appear as keys (matching the historical
+        dict-of-tuples accounting).
+        """
+        t = self._transitions_np
+        return {
+            (_NAMES[old], _NAMES[new]): int(t[old, new])
+            for old in range(4)
+            for new in range(4)
+            if t[old, new]
+        }
+
     def dfh_histogram(self) -> dict:
         """Count of lines per DFH state."""
-        values, counts = np.unique(self.dfh, return_counts=True)
-        return {Dfh(int(v)).name: int(c) for v, c in zip(values, counts)}
+        counts = np.bincount(self._dfh_np, minlength=4)
+        return {Dfh(v).name: int(c) for v, c in enumerate(counts) if c}
 
     def disabled_fraction(self) -> float:
         """Fraction of all lines currently in DFH b'11."""
-        return self.dfh.count(_DISABLED) / len(self.dfh)
+        n = len(self._dfh_np)
+        return int(np.count_nonzero(self._dfh_np == _DISABLED)) / n

@@ -281,6 +281,93 @@ class LineErrorModel:
         positions = self._act_positions[start:stop]
         return not self._masking_coins(line_id, salt, positions).any()
 
+    @staticmethod
+    def _masking_coins_many(
+        line_ids: np.ndarray, salts: np.ndarray, positions: np.ndarray
+    ) -> np.ndarray:
+        """Elementwise :meth:`_masking_coins` over aligned arrays.
+
+        Same splitmix64 mix per element — ``uint64`` multiplies wrap
+        exactly like the scalar path's ``& mask64``.
+        """
+        x = positions.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+        x ^= line_ids.astype(np.uint64) * np.uint64(0xBF58476D1CE4E5B9)
+        x ^= (salts.astype(np.uint64) + np.uint64(1)) * np.uint64(
+            0x94D049BB133111EB
+        )
+        x ^= x >> np.uint64(30)
+        x *= np.uint64(0xBF58476D1CE4E5B9)
+        x ^= x >> np.uint64(27)
+        x *= np.uint64(0x94D049BB133111EB)
+        x ^= x >> np.uint64(31)
+        return ((x >> np.uint64(13)) & np.uint64(1)).astype(bool)
+
+    def fills_would_be_clean(self, line_ids, salts) -> np.ndarray:
+        """Batched :meth:`fill_would_be_clean` over aligned arrays.
+
+        One vectorized coin evaluation for a whole replay window's
+        candidate fills instead of a Python call per (slot, line)
+        pair.  Returns a bool array: True where ``on_fill(line_ids[i],
+        salts[i])`` would leave an empty error vector.
+        """
+        offsets = self._act_offsets
+        if offsets is None:
+            offsets = self._ensure_active()
+        line_ids = np.asarray(line_ids, dtype=np.int64)
+        salts = np.asarray(salts, dtype=np.int64)
+        off = np.asarray(offsets, dtype=np.int64)
+        starts = off[line_ids]
+        counts = off[line_ids + 1] - starts
+        clean = np.ones(len(line_ids), dtype=bool)
+        faulted = np.flatnonzero(counts)
+        if not len(faulted):
+            return clean
+        reps = counts[faulted]
+        # Concatenated per-pair aranges into the active-position CSR.
+        flat = np.arange(int(reps.sum()), dtype=np.int64)
+        flat -= np.repeat(np.cumsum(reps) - reps, reps)
+        positions = self._act_positions[np.repeat(starts[faulted], reps) + flat]
+        coins = self._masking_coins_many(
+            np.repeat(line_ids[faulted], reps),
+            np.repeat(salts[faulted], reps),
+            positions,
+        )
+        unmasked = np.zeros(len(faulted), dtype=bool)
+        np.logical_or.at(unmasked, np.repeat(np.arange(len(faulted)), reps), coins)
+        clean[faulted] = ~unmasked
+        return clean
+
+    def predicted_fill_row(self, line_id: int, salt: int):
+        """The packed row :meth:`on_fill` *would* store, or None if empty.
+
+        Pure, deterministic-coin prediction for the batched replay
+        interpreter: lets a replay classify hypothetically-filled
+        lines without mutating the model (the commit replays
+        ``on_fill`` with the same salt, reproducing this row exactly).
+        """
+        offsets = self._act_offsets
+        if offsets is None:
+            offsets = self._ensure_active()
+        start = offsets[line_id]
+        stop = offsets[line_id + 1]
+        if start == stop:
+            return None
+        positions = self._act_positions[start:stop]
+        unmasked = positions[self._masking_coins(line_id, salt, positions)]
+        if not len(unmasked):
+            return None
+        return pack_positions(unmasked, self.layout.total_bits)
+
+    def predicted_observable_row(self, line_id: int, row) -> np.ndarray:
+        """Observable (original + inverted image) vector for a stored row.
+
+        ``row`` is a packed vector or None (empty); the result ORs in
+        every active fault, mirroring :meth:`observable_signals` for a
+        hypothetical fill.
+        """
+        mask = self._active_mask(line_id)
+        return mask if row is None else row | mask
+
     def on_write_hit(self, line_id: int) -> None:
         """Write-through update of resident data.
 
@@ -492,7 +579,10 @@ class LineErrorModel:
         """
         if not self._weights[line_id]:
             return True
-        row = self._rows[line_id]
+        return self.row_correction_is_sound(self._rows[line_id], use_ecc)
+
+    def row_correction_is_sound(self, row: np.ndarray, use_ecc: bool = True) -> bool:
+        """:meth:`correction_is_sound` for an explicit packed row."""
         kernel = self.kernel
         mask = kernel.codeword_mask if use_ecc else kernel.data_mask
         codeword_weight = int(popcount64(row & mask).sum())
@@ -507,5 +597,8 @@ class LineErrorModel:
         """Ground truth: does the line currently return corrupt data bits?"""
         if not self._weights[line_id]:
             return False
-        row = self._rows[line_id]
+        return self.row_has_data_errors(self._rows[line_id])
+
+    def row_has_data_errors(self, row: np.ndarray) -> bool:
+        """:meth:`has_data_errors` for an explicit packed row."""
         return bool(popcount64(row & self.kernel.data_mask).any())

@@ -31,6 +31,7 @@ suite pins across workloads and schemes.
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass, field
 
@@ -471,7 +472,64 @@ class GpuSimulator:
 
         # Only the plain write-through L2 has batchable semantics (the
         # write-back variant swaps in a different access protocol).
+        interp = None
         if type(l2) is WriteThroughCache:
+            interp = l2.scheme.batch_interpreter(l2)
+        guard_aborts = 0
+        interp_done = False
+        if interp is not None:
+            # Stage 3': cluster interpretation.  The scheme's shared-
+            # structure contention couples L2 sets only within ECC-set
+            # clusters, so the stream partitions exactly by cluster;
+            # each cluster's subsequence is simulated in original order
+            # with full scheme semantics and committed in bulk (see
+            # :mod:`repro.core.killi_replay`).  The only events the
+            # interpreter cannot simulate are shared-RNG write hits:
+            # each aborts its cluster after committing the exact
+            # prefix, and a min-heap over the *global* positions of
+            # pending aborts replays them through the real per-access
+            # path in ascending stream order.  Simulation itself never
+            # draws RNG and clusters are state-disjoint, so the heap
+            # order is the only order in which RNG is consumed — the
+            # same order the scalar engine consumes it.
+            l2_set_idx = line_nos % n_sets
+            cluster_idx = l2_set_idx % interp.ecc_n_sets
+            c_order = np.argsort(cluster_idx, kind="stable")
+            uniq_c, c_starts = np.unique(
+                cluster_idx[c_order], return_index=True
+            )
+            c_bounds = np.append(c_starts[1:], n)
+            lines_list = line_nos.tolist()
+            sets_list = l2_set_idx.tolist()
+            lat_list = [0] * n
+            cluster_groups: dict = {}
+            heap = []
+            for c, a, b in zip(
+                uniq_c.tolist(), c_starts.tolist(), c_bounds.tolist()
+            ):
+                idxs = c_order[a:b].tolist()
+                cluster_groups[c] = idxs
+                k = interp.run(
+                    c, idxs, 0, lines_list, stores_list, lat_list, sets_list
+                )
+                if k is not None:
+                    heap.append((idxs[k], c, k))
+            heapq.heapify(heap)
+            while heap:
+                gi, c, k = heapq.heappop(heap)
+                lat_list[gi] = l2_write(addrs_list[gi])
+                n_fallback += 1
+                guard_aborts += 1
+                idxs = cluster_groups[c]
+                k = interp.run(
+                    c, idxs, k + 1, lines_list, stores_list, lat_list,
+                    sets_list,
+                )
+                if k is not None:
+                    heapq.heappush(heap, (idxs[k], c, k))
+            lat = np.asarray(lat_list, dtype=np.int64)
+            interp_done = True
+        elif type(l2) is WriteThroughCache:
             set_idx = line_nos % n_sets
             # Stage 3: set partition.  Stable grouping keeps each set's
             # subsequence in original (round-major/CU-minor) order.
@@ -549,6 +607,7 @@ class GpuSimulator:
                         # Guard abort before any access ran: the first
                         # k accesses replay, the (k+1)-th cannot — run
                         # all k+1 per-access, then re-probe.
+                        guard_aborts += 1
                         probe_left[s] = k + 1
 
             if len(clean_done) == len(groups):
@@ -577,6 +636,7 @@ class GpuSimulator:
                         # Guard abort at tail offset k; this access is
                         # offset 0 and runs below, so k more pass
                         # per-access before the next probe.
+                        guard_aborts += 1
                         probe_left[s] = k
                     else:
                         iv = probe_iv.get(s, iv0)
@@ -636,7 +696,7 @@ class GpuSimulator:
             n_fallback = n
 
         latency_np = np.zeros(n_cus, dtype=np.int64)
-        if pending:
+        if pending or interp_done:
             np.add.at(latency_np, r_cus, lat)
         if model_banks:
             np.add.at(latency_np, r_cus, delay)
@@ -647,6 +707,13 @@ class GpuSimulator:
             METRICS.incr("engine.batched.sets_batched", len(clean_done))
             METRICS.incr("engine.batched.accesses_batched", n - n_fallback)
             METRICS.incr("engine.batched.accesses_fallback", n_fallback)
+            scheme_name = type(l2.scheme).__name__
+            METRICS.incr(
+                f"engine.batched.guard_aborts.{scheme_name}", guard_aborts
+            )
+            METRICS.incr(
+                f"engine.batched.fallback.{scheme_name}", n_fallback
+            )
         return [
             base[cu] + latency_py[cu] + int(latency_np[cu]) for cu in range(n_cus)
         ]
