@@ -11,10 +11,13 @@ reference implementation that stays in the tree:
   ``LineErrorModel.signals`` vs scalar ``signals_for_positions``);
 - ``hierarchy`` — per-access latency of the protected L2 on each tag
   substrate (object reference vs struct-of-arrays fast path);
+- ``cache_core`` — the unified transaction layer
+  (:meth:`CacheModel.execute`) on both write policies and both tag
+  substrates, cross-checked identical;
 - ``l2_replay`` — the set-partitioned batched replay kernel
-  (:func:`repro.cache.soa.replay_clean_set` + bulk apply) vs the
-  per-access ``read``/``write`` loop on the same stream, checked
-  bit-identical;
+  (:func:`repro.cache.soa.replay_clean_set` +
+  :meth:`CacheModel.commit_set_replays`) vs the per-access
+  ``read``/``write`` loop on the same stream, checked bit-identical;
 - ``fig6``      — Figure 6 coverage sweep end-to-end wall clock;
 - ``fig4``      — a Figure 4 scheme-panel slice end-to-end on all
   three engines (scalar, vectorized, batched) and both substrates,
@@ -46,7 +49,11 @@ import numpy as np
 from repro.analysis.montecarlo import CoverageSampler
 from repro.cache.geometry import CacheGeometry
 from repro.cache.soa import export_set_state, replay_clean_set
-from repro.cache.wtcache import WriteThroughCache
+from repro.cache.core import (
+    AccessTransaction,
+    WriteBackCache,
+    WriteThroughCache,
+)
 from repro.core.dfh import (
     ACTION_CORRECT_AND_SEND,
     ACTION_ERROR_MISS,
@@ -62,7 +69,7 @@ from repro.faults.cell_model import CellFaultModel
 from repro.faults.fault_map import FaultMap
 from repro.gpu.config import GpuConfig
 from repro.harness.experiments import fig6_coverage
-from repro.harness.metrics import METRICS
+from repro.metrics import METRICS
 from repro.harness.runner import LV_VOLTAGE, CellSpec, run_cell, trace_for
 from repro.scenario.config import cell_scenario
 from repro.scenario.runfile import scenario_fingerprint
@@ -73,6 +80,7 @@ _QUICK = {
     "sampler_samples": 5_000,
     "linestate_accesses": 2_000,
     "hierarchy_accesses": 20_000,
+    "cache_core_accesses": 20_000,
     "l2_replay_accesses": 20_000,
     "killi_classify_ops": 20_000,
     "fig6": False,
@@ -87,6 +95,7 @@ _FULL = {
     "sampler_samples": 100_000,
     "linestate_accesses": 20_000,
     "hierarchy_accesses": 200_000,
+    "cache_core_accesses": 200_000,
     "l2_replay_accesses": 200_000,
     "killi_classify_ops": 200_000,
     "fig6": True,
@@ -231,14 +240,88 @@ def bench_hierarchy(accesses: int) -> dict:
     }
 
 
+def bench_cache_core(accesses: int) -> dict:
+    """The unified transaction layer, across policies and substrates.
+
+    Replays one deterministic mixed stream (20% stores, working set
+    ~4x the cache) through ``CacheModel.execute`` on the two shipped
+    L2 policy presets (write-through / no-write-allocate and
+    write-back / write-allocate) on both tag substrates, asserting
+    that each preset's two substrates finish with identical cycles,
+    counters and memory traffic.  Times the object reference against
+    the SoA fast path (best of three, each rep on a cold cache —
+    single-shot timing at quick-mode sizes is allocator-warmup noise)
+    for the write-through preset (the paper's L2), so the transaction
+    layer itself is held to the same --fail-if-slower gate as every
+    other fast path.
+    """
+    config = GpuConfig()
+    geometry = config.l2
+    rng = np.random.default_rng(53)
+    n_lines = geometry.n_sets * geometry.associativity
+    addrs = (
+        rng.integers(0, 4 * n_lines, size=accesses) * geometry.line_bytes
+    ).tolist()
+    stores = (rng.random(accesses) < 0.2).tolist()
+    txns = [
+        AccessTransaction(addr, is_store=store)
+        for addr, store in zip(addrs, stores)
+    ]
+
+    def run(preset, substrate: str, reps: int = 3):
+        best = None
+        for _ in range(reps):
+            cache = preset(
+                geometry, latencies=config.l2_latencies, substrate=substrate
+            )
+            cycles = 0
+            start = time.perf_counter()
+            execute = cache.execute
+            for txn in txns:
+                cycles += execute(txn)
+            seconds = time.perf_counter() - start
+            best = seconds if best is None else min(best, seconds)
+        return best, cache, cycles
+
+    timings = {}
+    for preset in (WriteThroughCache, WriteBackCache):
+        object_s, object_cache, object_cycles = run(preset, "object")
+        soa_s, soa_cache, soa_cycles = run(preset, "soa")
+        assert (
+            soa_cycles,
+            soa_cache.stats,
+            soa_cache.memory_reads,
+            soa_cache.memory_writes,
+        ) == (
+            object_cycles,
+            object_cache.stats,
+            object_cache.memory_reads,
+            object_cache.memory_writes,
+        ), f"substrates diverged on the {preset.__name__} stream"
+        timings[preset] = (object_s, soa_s)
+
+    wt_object_s, wt_soa_s = timings[WriteThroughCache]
+    wb_object_s, wb_soa_s = timings[WriteBackCache]
+    return {
+        "accesses": accesses,
+        "object_ns_per_access": round(wt_object_s / accesses * 1e9, 1),
+        "soa_ns_per_access": round(wt_soa_s / accesses * 1e9, 1),
+        "writeback_soa_ns_per_access": round(wb_soa_s / accesses * 1e9, 1),
+        "speedup_soa": round(wt_object_s / wt_soa_s, 2),
+        "speedup_soa_writeback": round(wb_object_s / wb_soa_s, 2),
+        "substrates_bit_identical": True,
+    }
+
+
 def bench_l2_replay(accesses: int) -> dict:
     """The batched set-replay kernel vs the per-access L2 loop.
 
     Same deterministic stream (20% stores, working set ~2x the cache)
     through two identical unprotected SoA caches: one access at a time
     via ``read``/``write``, and set-partitioned through
-    ``set_replay_profile`` -> ``replay_clean_set`` -> bulk apply — the
-    exact sequence the batched engine runs per kernel.  Final stats
+    ``set_replay_profile`` -> ``replay_clean_set`` ->
+    ``commit_set_replays`` — the exact sequence the batched engine
+    runs per kernel.  Final stats
     and total cycles are cross-checked, so the bench doubles as an
     equivalence smoke test of the kernel itself.
 
@@ -281,6 +364,7 @@ def bench_l2_replay(accesses: int) -> dict:
     uniq, starts = np.unique(set_idx[order], return_index=True)
     bounds = np.append(starts[1:], accesses)
     pending = []
+    bulk_hits: dict = {}
     rh_total = wh_total = ev_total = n_writes = 0
     miss_total = 0
     for s, a, b in zip(uniq.tolist(), starts.tolist(), bounds.tolist()):
@@ -293,23 +377,19 @@ def bench_l2_replay(accesses: int) -> dict:
             corrected_ways, guard,
         )
         pending.append((s, way_lines, resident, touch_order))
+        if rh:
+            bulk_hits[info] = bulk_hits.get(info, 0) + rh
         rh_total += rh
         wh_total += wh
         ev_total += ev
         miss_total += len(misses)
         n_writes += b - a - (rh + len(misses))
-    batched.apply_set_replays(pending)
-    st = batched.stats
-    st.reads += rh_total + miss_total
-    st.read_hits += rh_total
-    st.read_misses += miss_total
-    st.fills += miss_total
-    st.evictions += ev_total
-    st.writes += n_writes
-    st.write_hits += wh_total
-    st.write_misses += n_writes - wh_total
-    batched.memory_reads += miss_total
-    batched.memory_writes += n_writes
+    batched.commit_set_replays(
+        pending,
+        (rh_total + miss_total, rh_total, n_writes, wh_total, ev_total),
+        miss_total,
+        bulk_hits,
+    )
     batched_cycles = (
         rh_total * batched._lat_hit
         + miss_total * batched._lat_miss
@@ -545,6 +625,7 @@ _BASELINE_HEADLINE_KEYS = {
     "sampler": ("vectorized_seconds",),
     "linestate": ("memoized_us_per_access",),
     "hierarchy": ("soa_ns_per_access",),
+    "cache_core": ("soa_ns_per_access",),
     "l2_replay": ("batched_ns_per_access",),
     "killi_classify": ("cached_ns_per_op", "batch_ns_per_op"),
     "fig6": ("seconds",),
@@ -669,6 +750,16 @@ def main(argv=None) -> int:
         f"({hierarchy['speedup_soa']:.1f}x)"
     )
 
+    results["benchmarks"]["cache_core"] = cache_core = bench_cache_core(
+        sizes["cache_core_accesses"]
+    )
+    print(
+        f"  cache_core:{cache_core['soa_ns_per_access']:6.1f} ns/access soa "
+        f"vs {cache_core['object_ns_per_access']:6.1f} object  "
+        f"({cache_core['speedup_soa']:.1f}x, write-back "
+        f"{cache_core['speedup_soa_writeback']:.1f}x)"
+    )
+
     results["benchmarks"]["l2_replay"] = l2_replay = bench_l2_replay(
         sizes["l2_replay_accesses"]
     )
@@ -719,6 +810,8 @@ def main(argv=None) -> int:
             slower.append(f"linestate ({linestate['speedup_packed']}x)")
         if hierarchy["speedup_soa"] < 1.0:
             slower.append(f"hierarchy ({hierarchy['speedup_soa']}x)")
+        if cache_core["speedup_soa"] < 1.0:
+            slower.append(f"cache_core ({cache_core['speedup_soa']}x)")
         if l2_replay["speedup_batched"] < 1.0:
             slower.append(f"l2_replay ({l2_replay['speedup_batched']}x)")
         if killi_cls["speedup_cached"] < 1.0:

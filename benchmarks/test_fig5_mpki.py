@@ -10,8 +10,6 @@ Paper shape encoded below:
   size; FFT and XSBench show the largest 1:256 vs 1:16 gap.
 """
 
-import numpy as np
-
 from repro.harness.experiments import fig4_fig5_performance
 
 

@@ -6,7 +6,7 @@ Checks the paper's headline: Killi cuts the error-protection area by
 
 import pytest
 
-from repro.analysis.area import AreaModel, killi_area_bits
+from repro.analysis.area import killi_area_bits
 from repro.harness.experiments import table5_area
 from repro.utils.units import bits_to_kib
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable
 
-from repro.cache.protection import UnprotectedScheme
+from repro.cache.hooks import UnprotectedScheme
 from repro.core import KilliConfig, KilliScheme
 from repro.faults.cell_model import DEFAULT_ANCHORS, CellFaultModel
 from repro.faults.fault_map import FaultMap

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.baselines.oracle import OracleEccScheme
 from repro.cache.geometry import CacheGeometry
-from repro.cache.protection import AccessOutcome
+from repro.cache.hooks import AccessOutcome
 from repro.core.layout import LineLayout
 from repro.core.linestate import LineErrorModel
 from repro.faults.fault_map import FaultMap

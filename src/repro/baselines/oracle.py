@@ -13,7 +13,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cache.geometry import CacheGeometry
-from repro.cache.protection import AccessOutcome, ProtectionScheme
+from repro.cache.hooks import (
+    BEHAVIOURAL_HOOKS,
+    AccessOutcome,
+    ProtectionScheme,
+    hooks_unchanged,
+)
 from repro.core.layout import LineLayout
 from repro.faults.fault_map import FaultMap
 
@@ -79,28 +84,20 @@ class OracleEccScheme(ProtectionScheme):
             else None
             for row, has in zip(by_set, self._set_has_faults)
         ]
-        self._replay_hooks_clean = self._hooks_unchanged()
-
-    def _hooks_unchanged(self) -> bool:
-        """May this instance's sets replay through the batched kernel?
-
-        True only when no subclass changed a hook the kernel would
-        have to re-model.  (FLAIR's training-mode way filtering is
-        gated separately through ``filters_ways``, which blocks the
-        cache-level probe before the scheme is consulted.)
-        """
-        cls = type(self)
-        base = ProtectionScheme
-        return (
-            cls.on_read_hit is OracleEccScheme.on_read_hit
-            and cls.hit_replay_info is OracleEccScheme.hit_replay_info
-            and cls.on_fill is base.on_fill
-            and cls.on_write_hit is base.on_write_hit
-            and cls.on_evict is base.on_evict
-            and cls.on_invalidated is base.on_invalidated
-            and cls.fill_priority is base.fill_priority
-            and cls.fill_priorities is base.fill_priorities
-            and cls.apply_replay is base.apply_replay
+        # May this instance's sets replay through the batched kernel?
+        # True only when no subclass changed a hook the kernel would
+        # have to re-model: this class owns the hit path, everything
+        # else must still be the base no-op.  (FLAIR's training-mode
+        # way filtering is gated separately through ``filters_ways``,
+        # which blocks the cache-level probe before the scheme is
+        # consulted — hence ``is_line_usable`` is not probed here.)
+        self._replay_hooks_clean = hooks_unchanged(
+            type(self),
+            hooks=tuple(h for h in BEHAVIOURAL_HOOKS if h != "is_line_usable"),
+            owners={
+                "on_read_hit": OracleEccScheme,
+                "hit_replay_info": OracleEccScheme,
+            },
         )
 
     def attach(self, cache) -> None:

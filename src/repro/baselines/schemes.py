@@ -54,7 +54,7 @@ def _register_axis_schemes() -> None:
     :data:`repro.scenario.registries.SCHEME_REGISTRY` without the
     harness hardcoding them anywhere.
     """
-    from repro.cache.protection import UnprotectedScheme
+    from repro.cache.hooks import UnprotectedScheme
     from repro.scenario.registries import SCHEME_REGISTRY, SchemeFactory
 
     def _build_baseline(factory, ctx):

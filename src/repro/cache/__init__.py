@@ -1,39 +1,67 @@
 """Set-associative cache substrate.
 
-Provides the machinery every protection scheme plugs into:
+Provides the machinery every protection scheme plugs into, layered as
+transaction core -> hooks -> substrates (see ``docs/architecture.md``):
 
 - :mod:`repro.cache.geometry` — address mapping for a banked
   set-associative cache (the paper's 2MB / 16-way / 64B-line / 16-bank
   GPU L2 and the small 4-way ECC cache both instantiate this).
 - :mod:`repro.cache.stats` — hit/miss/error accounting, MPKI.
-- :mod:`repro.cache.replacement` — per-set LRU state with the
-  DFH-priority victim selection hook Killi's modified policy needs.
-- :mod:`repro.cache.setassoc` — the tag store (object substrate).
-- :mod:`repro.cache.soa` — the struct-of-arrays tag/LRU substrate
-  (flat numpy arrays, bit-identical fast path).
-- :mod:`repro.cache.protection` — the scheme interface + outcomes.
-- :mod:`repro.cache.wtcache` — the write-through protected cache that
-  drives a scheme (Killi or a baseline) on every access.
+- :mod:`repro.cache.core` — the unified transaction layer: one
+  parameterized :class:`CacheModel` (write-policy + allocation-policy
+  strategy objects) whose presets are the write-through L2, the
+  write-back extension and the L1 filter caches; the single scalar
+  implementation of the access semantics.
+- :mod:`repro.cache.hooks` — the scheme-facing surface (outcomes,
+  hook base class, replay guards, the batched-engine gate).
+- :mod:`repro.cache.replacement` — the shared
+  :class:`ReplacementPolicy` interface with both substrates' LRU
+  states.
+- :mod:`repro.cache.object_store` — the object tag store (pinned
+  reference substrate).
+- :mod:`repro.cache.soa` — the struct-of-arrays tag substrate and the
+  batched set-replay kernels (flat numpy arrays, bit-identical fast
+  path).
 """
 
+from repro.cache.core import (
+    AccessTransaction,
+    AllocationPolicy,
+    CacheLatencies,
+    CacheModel,
+    LRU_FILL,
+    NO_WRITE_ALLOCATE,
+    WRITE_ALLOCATE,
+    WRITE_BACK,
+    WRITE_THROUGH,
+    WriteBackCache,
+    WritePolicy,
+    WriteThroughCache,
+)
 from repro.cache.geometry import CacheGeometry
-from repro.cache.protection import AccessOutcome, ProtectionScheme, UnprotectedScheme
-from repro.cache.replacement import LruState
-from repro.cache.setassoc import CacheLineState, SetAssocCache
+from repro.cache.hooks import (
+    AccessOutcome,
+    BatchedSurface,
+    ProtectionScheme,
+    UnprotectedScheme,
+    batched_surface,
+    hooks_unchanged,
+    make_replay_guard,
+)
+from repro.cache.object_store import CacheLineState, SetAssocCache
+from repro.cache.replacement import LruState, ReplacementPolicy, SoaLruState
 from repro.cache.soa import (
     SUBSTRATES,
-    SoaLruState,
     SoaTagStore,
     default_substrate,
     resolve_substrate,
 )
 from repro.cache.stats import CacheStats
-from repro.cache.wbcache import WriteBackCache
-from repro.cache.wtcache import CacheLatencies, WriteThroughCache
 
 __all__ = [
     "CacheGeometry",
     "CacheStats",
+    "ReplacementPolicy",
     "LruState",
     "CacheLineState",
     "SetAssocCache",
@@ -45,7 +73,20 @@ __all__ = [
     "AccessOutcome",
     "ProtectionScheme",
     "UnprotectedScheme",
+    "BatchedSurface",
+    "batched_surface",
+    "hooks_unchanged",
+    "make_replay_guard",
     "CacheLatencies",
+    "CacheModel",
+    "AccessTransaction",
+    "WritePolicy",
+    "AllocationPolicy",
+    "WRITE_THROUGH",
+    "WRITE_BACK",
+    "NO_WRITE_ALLOCATE",
+    "WRITE_ALLOCATE",
+    "LRU_FILL",
     "WriteThroughCache",
     "WriteBackCache",
 ]

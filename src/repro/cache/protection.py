@@ -1,16 +1,15 @@
-"""Protection-scheme interface.
+"""Compatibility shim — the scheme surface lives in :mod:`repro.cache.hooks`.
 
-A *protection scheme* is everything that distinguishes Killi, FLAIR,
-DECTED, MS-ECC and the fault-free baseline from the underlying tag
-store: what happens on a fill, a hit, an eviction; which victim is
-preferred; which lines get disabled.  The write-through cache
-(:mod:`repro.cache.wtcache`) calls into the scheme at each of those
-points and acts on the returned :class:`AccessOutcome`.
+Kept so existing ``from repro.cache.protection import ...`` sites keep
+working; new code should import from :mod:`repro.cache.hooks`.
 """
 
-from __future__ import annotations
-
-import enum
+from repro.cache.hooks import (
+    PURE_CLEAN_HIT,
+    AccessOutcome,
+    ProtectionScheme,
+    UnprotectedScheme,
+)
 
 __all__ = [
     "AccessOutcome",
@@ -18,243 +17,3 @@ __all__ = [
     "ProtectionScheme",
     "UnprotectedScheme",
 ]
-
-
-class AccessOutcome(enum.Enum):
-    """What the protection scheme decided about a read hit."""
-
-    CLEAN = "clean"
-    """Data is good; serve the hit."""
-
-    CORRECTED = "corrected"
-    """Data needed an ECC correction; serve the hit (+1 cycle)."""
-
-    RETRAIN_MISS = "retrain_miss"
-    """Detected error invalidates the line and re-enters training
-    (Killi Table 2: b'00 with one mismatching segment -> b'01).  The
-    access is converted into an error-induced cache miss."""
-
-    DISABLE_MISS = "disable_miss"
-    """Detected multi-bit error disables the line (DFH b'11).  The
-    access is converted into an error-induced cache miss."""
-
-
-#: Replay info for a hit that is CLEAN and has no stat side effects.
-PURE_CLEAN_HIT = (False, 0, 0)
-
-
-class ProtectionScheme:
-    """Base scheme: no protection, nothing ever fails.
-
-    Subclasses override the hooks they need.  ``attach`` is called once
-    by the cache so schemes that manage shared structures (Killi's ECC
-    cache) can invalidate lines back through the cache.
-
-    Epoch-cached hit path: a scheme whose ``on_read_hit`` is *pure* for
-    a given line (outcome and side effects fixed until a scheme event)
-    may return a replay tuple from :meth:`hit_replay_info`; the cache
-    memoizes it and replays subsequent hits through
-    :meth:`apply_replay` without dispatching ``on_read_hit`` at all.
-    Any event that could change a memoized line's hit behaviour must
-    either be cache-visible (fill / invalidate / write hit, which clear
-    the per-line stamp) or bump the cache's global epoch.
-    """
-
-    def __init__(self):
-        self.cache = None
-
-    def attach(self, cache) -> None:
-        """Called by the owning cache after construction."""
-        self.cache = cache
-
-    # -- access hooks (set_index, way identify the physical line) -------
-
-    def on_fill(self, set_index: int, way: int) -> None:
-        """New data installed into (set, way)."""
-
-    def on_read_hit(self, set_index: int, way: int) -> AccessOutcome:
-        """Data read from (set, way); decide the outcome."""
-        return AccessOutcome.CLEAN
-
-    def on_write_hit(self, set_index: int, way: int) -> None:
-        """Data overwritten in place (write-through update)."""
-
-    def on_evict(self, set_index: int, way: int) -> None:
-        """Valid line evicted (replacement).  Killi trains DFH here."""
-
-    def on_invalidated(self, set_index: int, way: int) -> None:
-        """Line invalidated for a non-replacement reason."""
-
-    def on_dirty(self, set_index: int, way: int) -> None:
-        """Line transitioned clean -> dirty (write-back caches only)."""
-
-    # -- policy hooks ----------------------------------------------------
-
-    def fill_priority(self, set_index: int, way: int) -> int:
-        """Priority for choosing among *invalid* candidate ways.
-
-        Higher wins.  Killi returns 2 for DFH b'01, 1 for b'00, 0 for
-        b'10 (paper Section 4.4).
-        """
-        return 0
-
-    def fill_priorities(self, set_index: int, ways) -> list:
-        """``fill_priority`` for each way in ``ways`` (batched).
-
-        Schemes with cheap bulk access to their per-line state (Killi's
-        DFH array) override this to avoid a Python call per candidate.
-        """
-        return [self.fill_priority(set_index, way) for way in ways]
-
-    def fill_priority_is_uniform(self, set_index: int) -> bool:
-        """True if every way of ``set_index`` is *guaranteed* to carry
-        the same fill priority right now — the caller may then take the
-        first invalid candidate without ranking.  Conservative default:
-        False (rank every time); Killi overrides with a per-set counter
-        of lines that have left the (uniform-priority) initial state.
-        """
-        return False
-
-    def is_line_usable(self, set_index: int, way: int) -> bool:
-        """May (set, way) receive a fill?  (Disabled ways are already
-        excluded by the tag store; schemes can exclude more.)"""
-        return True
-
-    def filters_ways(self) -> bool:
-        """May :meth:`is_line_usable` ever return False for *this
-        instance*?  The cache skips the per-way usability calls (and
-        allows batched set replay) when this is False.  The default is
-        the conservative type-level check; schemes whose filtering is
-        configuration-gated (FLAIR's optional training window) override
-        it so an instance that provably never filters is not penalised
-        for the class having the hook.  Must be decided once, at attach
-        time: an instance that might start filtering later has to
-        return True up front."""
-        return type(self).is_line_usable is not ProtectionScheme.is_line_usable
-
-    # -- epoch-cached hit path -------------------------------------------
-
-    def hit_replay_info(self, set_index: int, way: int):
-        """Replay tuple ``(corrected, hits_inc, sdc_inc)`` for a read
-        hit on (set, way), or None if the hit must go through
-        :meth:`on_read_hit`.
-
-        Only valid when the scheme guarantees the hit outcome and its
-        stat side effects stay fixed until a stamp-clearing cache event
-        or an epoch bump.  The base implementation covers schemes that
-        never fail — but only when ``on_read_hit`` is not overridden,
-        so unaware subclasses safely opt out.
-        """
-        if type(self).on_read_hit is not ProtectionScheme.on_read_hit:
-            return None
-        return PURE_CLEAN_HIT
-
-    def apply_replay(self, info) -> None:
-        """Apply the scheme-side stat effects of a memoized hit."""
-
-    # -- batched set replay ----------------------------------------------
-
-    def set_replay_info(self, set_index: int):
-        """Replay tuple if the whole set is *scheme-inert*, else None.
-
-        The batched engine partitions the L2-bound stream by set; a set
-        it may simulate without per-access scheme dispatch must satisfy,
-        for the remainder of the current kernel:
-
-        - every read hit in the set behaves per the returned tuple
-          (``(corrected, hits_inc, sdc_inc)``, as ``hit_replay_info``);
-        - ``on_fill`` / ``on_write_hit`` / ``on_evict`` on any way of
-          the set are pure no-ops (no state, stat, RNG or shared-
-          structure effects);
-        - victim selection reduces to first-invalid / plain LRU (no
-          way filtering, uniform fill priorities);
-        - nothing outside the set's own accesses can mutate the set
-          (no shared-structure entries pointing at it).
-
-        The guarantee must be *monotone*: once true it stays true until
-        the kernel ends (schemes whose clean sets can be re-dirtied by
-        their own accesses must return None).  The base implementation
-        covers schemes that override none of the behavioural hooks —
-        unaware subclasses safely opt out.
-        """
-        cls = type(self)
-        base = ProtectionScheme
-        if (
-            cls.on_read_hit is not base.on_read_hit
-            or cls.on_fill is not base.on_fill
-            or cls.on_write_hit is not base.on_write_hit
-            or cls.on_evict is not base.on_evict
-            or cls.on_invalidated is not base.on_invalidated
-            or cls.fill_priority is not base.fill_priority
-            or cls.fill_priorities is not base.fill_priorities
-            or cls.is_line_usable is not base.is_line_usable
-            or cls.hit_replay_info is not base.hit_replay_info
-            or cls.apply_replay is not base.apply_replay
-        ):
-            return None
-        return PURE_CLEAN_HIT
-
-    def set_replay_profile(self, set_index: int):
-        """Batched-replay profile ``(info, corrected_ways, guard)`` or None.
-
-        The generalisation of :meth:`set_replay_info` the batched
-        engine actually consumes:
-
-        - ``info`` — the per-hit replay tuple applied to the set's
-          read hits (as ``set_replay_info``);
-        - ``corrected_ways`` — None, or the ways whose read hits
-          replay as CORRECTED (+1 cycle, ``corrected_reads``) instead
-          of ``info[0]``'s latency class.  Lets statically-
-          characterised schemes (the MBIST oracles) batch sets that
-          *contain* faulty-but-correctable lines;
-        - ``guard`` — None, or ``(unsafe_ways, fill_ok)`` — optionally
-          ``(unsafe_ways, fill_ok, fills_ok)`` with a batched
-          ``fills_ok(ways, lines) -> bool array`` form of ``fill_ok``
-          — passed to :func:`repro.cache.soa.replay_clean_set`, which
-          aborts the replay on the rare events that cannot be replayed
-          out of order (shared-RNG draws, unmasked fills).  With a
-          guard the inertness condition need not be monotone in itself
-          — the kernel re-checks every event — but everything
-          *outside* the guarded events must still be inert for the
-          kernel remainder.
-
-        The default wraps :meth:`set_replay_info`: uniform hits, no
-        guard, which keeps every existing scheme's behaviour.
-        """
-        info = self.set_replay_info(set_index)
-        if info is None:
-            return None
-        return (info, None, None)
-
-    def batch_interpreter(self, cache):
-        """Scheme-exact batch interpreter for the engine, or None.
-
-        A scheme that can simulate *arbitrary* (non-inert) access
-        subsequences ahead of the per-access loop — replicating every
-        state, stat and RNG effect bit-exactly — returns an
-        interpreter object here (see
-        :mod:`repro.core.killi_replay`).  None (the default) keeps the
-        probe-based set-replay path as the only batching the engine
-        attempts for this scheme.
-        """
-        return None
-
-    def apply_replay_bulk(self, info, count: int) -> None:
-        """Apply ``count`` memoized hits' scheme-side effects at once.
-
-        The safe default loops :meth:`apply_replay`; schemes with
-        additive counters override with closed-form updates.  Schemes
-        that never override ``apply_replay`` (its base is a no-op)
-        skip the loop entirely.
-        """
-        if type(self).apply_replay is ProtectionScheme.apply_replay:
-            return
-        for _ in range(count):
-            self.apply_replay(info)
-
-    def on_reset(self) -> None:
-        """Voltage change / reboot: clear learned state (DFH reset)."""
-
-
-class UnprotectedScheme(ProtectionScheme):
-    """The paper's baseline: fault-free cache at nominal VDD."""

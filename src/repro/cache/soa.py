@@ -1,25 +1,25 @@
 """Struct-of-arrays cache substrate.
 
-The object substrate (:mod:`repro.cache.setassoc` +
-:mod:`repro.cache.replacement`) keeps one ``CacheLineState`` dataclass
-per physical line behind per-set tag dicts and per-set recency lists.
-That is the pinned reference implementation; this module is the fast
-path: the same tag-store and LRU contracts on flat numpy arrays —
+The object substrate (:mod:`repro.cache.object_store` +
+:class:`~repro.cache.replacement.LruState`) keeps one
+``CacheLineState`` dataclass per physical line behind per-set tag
+dicts and per-set recency lists.  That is the pinned reference
+implementation; this module is the fast path: the same tag-store
+contract on flat numpy arrays —
 
 - :class:`SoaTagStore` — valid/tag/disabled/dirty as ``(n_sets,
   associativity)`` arrays plus a single line-number -> way dict for
   O(1) lookups (one integer divide per access instead of a set/tag
   split against a per-set dict);
-- :class:`SoaLruState` — integer-age LRU: every touch stamps a
-  per-set monotonically increasing clock, every demote stamps a
-  monotonically decreasing floor, so ages are always distinct and the
-  induced recency order is *exactly* the order the list-based
-  :class:`~repro.cache.replacement.LruState` maintains.
+- :class:`~repro.cache.replacement.SoaLruState` (re-exported here) —
+  integer-age LRU, order-equivalent to the list-based
+  :class:`~repro.cache.replacement.LruState` under the shared
+  :class:`~repro.cache.replacement.ReplacementPolicy` interface.
 
-Both substrates are interchangeable behind
-:class:`~repro.cache.wtcache.WriteThroughCache` and
-:class:`~repro.gpu.hierarchy.SimpleL1` (``substrate="object"`` /
-``"soa"``); the test suite pins them bit-identical across schemes,
+Both substrates are interchangeable behind any
+:class:`~repro.cache.core.CacheModel` — the L2 presets and
+:class:`~repro.gpu.hierarchy.SimpleL1` alike (``substrate="object"``
+/ ``"soa"``); the test suite pins them bit-identical across schemes,
 workloads and reset/disable semantics.  The default substrate is
 ``soa`` and can be overridden with the ``REPRO_SUBSTRATE`` environment
 variable (the CI runs the tier-1 suite under both).
@@ -32,6 +32,7 @@ import os
 import numpy as np
 
 from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement import SoaLruState
 from repro.scenario.registries import SUBSTRATE_REGISTRY, SubstrateSpec
 
 __all__ = [
@@ -82,7 +83,7 @@ def substrate_spec(substrate: str | None) -> SubstrateSpec:
 class SoaLineView:
     """Dataclass-compatible view of one (set, way) in a :class:`SoaTagStore`.
 
-    Quacks like :class:`~repro.cache.setassoc.CacheLineState` for
+    Quacks like :class:`~repro.cache.object_store.CacheLineState` for
     readers (``valid``/``tag``/``disabled``/``dirty``); the mutable
     flags (``dirty``, ``disabled``) write through to the arrays and
     keep the store's maintained counters in sync.  ``valid``/``tag``
@@ -137,7 +138,7 @@ class SoaLineView:
 class SoaTagStore:
     """Tag store for a set-associative cache on flat numpy arrays.
 
-    API-compatible with :class:`~repro.cache.setassoc.SetAssocCache`
+    API-compatible with :class:`~repro.cache.object_store.SetAssocCache`
     (lookup / insert / invalidate / disable / enable / enable_all /
     line / ways_of_set / counters) plus the scalar accessors the
     protected-cache hot path uses (``is_valid`` / ``is_dirty`` /
@@ -313,65 +314,6 @@ class SoaTagStore:
             assert sum(self.valid_in_set) == self._n_valid
             assert sum(1 for line in self._line_at if line >= 0) == self._n_valid
         return self._n_valid
-
-
-class SoaLruState:
-    """Integer-age LRU, order-equivalent to the list-based ``LruState``.
-
-    ``age[set, way]`` holds the last-touch stamp; per-set clocks only
-    grow and per-set floors only shrink, so ages within a set are
-    always pairwise distinct and "most recently used" is simply the
-    descending-age order.  ``touch`` == move-to-front, ``demote`` ==
-    move-to-back, and the initial ages ``0, -1, ..., -(w-1)`` replicate
-    the list substrate's initial order ``[0, 1, ..., w-1]``.
-    """
-
-    def __init__(self, n_sets: int, associativity: int):
-        if n_sets < 1 or associativity < 1:
-            raise ValueError("n_sets and associativity must be positive")
-        self.n_sets = n_sets
-        self.associativity = associativity
-        # Flat per-slot ages (set * associativity + way), plain list:
-        # touch / victim scans are scalar probes over one set's worth
-        # of entries, where lists beat numpy views.
-        self.age = list(range(0, -associativity, -1)) * n_sets
-        self._clock = [1] * n_sets
-        self._floor = [-associativity] * n_sets
-
-    def touch(self, set_index: int, way: int) -> None:
-        """Move ``way`` to the MRU position of its set."""
-        self.age[set_index * self.associativity + way] = self._clock[set_index]
-        self._clock[set_index] += 1
-
-    def demote(self, set_index: int, way: int) -> None:
-        """Move ``way`` to the LRU position (used after invalidation)."""
-        self.age[set_index * self.associativity + way] = self._floor[set_index]
-        self._floor[set_index] -= 1
-
-    def recency_order(self, set_index: int):
-        """Ways of a set, most-recently-used first (read-only view)."""
-        base = set_index * self.associativity
-        row = self.age[base : base + self.associativity]
-        return tuple(sorted(range(self.associativity), key=lambda w: -row[w]))
-
-    def lru_way(self, set_index: int) -> int:
-        """The least-recently-used way of a set (O(associativity))."""
-        base = set_index * self.associativity
-        row = self.age[base : base + self.associativity]
-        return row.index(min(row))
-
-    def lru_choice(self, set_index: int, eligible) -> int | None:
-        """Least-recently-used way among ``eligible`` (a container of ways)."""
-        base = set_index * self.associativity
-        row = self.age
-        best = None
-        best_age = None
-        for way in eligible:
-            a = row[base + way]
-            if best_age is None or a < best_age:
-                best_age = a
-                best = way
-        return best
 
 
 # -- batched set replay kernels ------------------------------------------
@@ -665,7 +607,7 @@ def bulk_apply_set_replays(tags: SoaTagStore, lru: SoaLruState, pending) -> None
 
 
 def _object_tag_store(geometry: CacheGeometry):
-    from repro.cache.setassoc import SetAssocCache
+    from repro.cache.object_store import SetAssocCache
 
     return SetAssocCache(geometry)
 
@@ -683,6 +625,7 @@ SUBSTRATE_REGISTRY.register(
         tag_store=_object_tag_store,
         lru=_object_lru,
         description="per-line objects; the pinned reference implementation",
+        reference=True,
     ),
 )
 SUBSTRATE_REGISTRY.register(

@@ -1,92 +1,12 @@
-"""Write-back protected cache (paper Section 5.6.1 extension).
+"""Compatibility shim — the access semantics live in :mod:`repro.cache.core`.
 
-Same structure as the write-through cache, but stores allocate and
-dirty data lives only in the cache until eviction.  This changes the
-reliability calculus fundamentally: a detected-uncorrectable error on
-a *dirty* line cannot be repaired by refetching — it is a detected
-uncorrectable error (DUE, i.e. data loss), which the stats record.
-
-The cache signals dirtiness to the scheme through the ``on_dirty``
-hook so Killi's write-back variant can upgrade the line's protection
-(SECDED for dirty b'00 lines, DECTED-in-the-freed-parity-bits for
-dirty b'10 lines — the paper's proposal).
+:class:`~repro.cache.core.WriteBackCache` is the write-back /
+write-allocate preset of the unified
+:class:`~repro.cache.core.CacheModel` (paper Section 5.6.1); this
+module survives only so existing ``from repro.cache.wbcache import
+...`` sites keep working.
 """
 
-from __future__ import annotations
-
-from repro.cache.protection import AccessOutcome
-from repro.cache.wtcache import WriteThroughCache
+from repro.cache.core import WriteBackCache
 
 __all__ = ["WriteBackCache"]
-
-
-class WriteBackCache(WriteThroughCache):
-    """Write-back, write-allocate protected cache."""
-
-    def write(self, addr: int) -> int:
-        """Write access; allocates on miss, marks the line dirty."""
-        self.stats.writes += 1
-        lat = self.latencies
-        set_index = self.geometry.set_of(addr)
-        tags = self.tags
-        way = tags.lookup(addr)
-        if way is not None:
-            self.stats.write_hits += 1
-            self._hit_stamp[set_index * self._assoc + way] = -1
-            self.scheme.on_write_hit(set_index, way)
-            if not tags.is_dirty(set_index, way):
-                tags.set_dirty(set_index, way, True)
-                self.scheme.on_dirty(set_index, way)
-            self.lru.touch(set_index, way)
-            return lat.tag + lat.data
-
-        # Write-allocate: fetch the line, then modify it.
-        self.stats.write_misses += 1
-        self.memory_reads += 1
-        way = self._allocate(addr)
-        if way is None:
-            # Nowhere to put it: the store goes straight to memory.
-            self.stats.bypasses += 1
-            self.memory_writes += 1
-            return lat.miss
-        self._hit_stamp[set_index * self._assoc + way] = -1
-        self.scheme.on_write_hit(set_index, way)
-        tags.set_dirty(set_index, way, True)
-        self.scheme.on_dirty(set_index, way)
-        return lat.miss
-
-    def read(self, addr: int) -> int:
-        """Read access; uncorrectable errors on dirty lines are DUEs.
-
-        Dirty-line hits never consult the epoch cache: a stamp cannot
-        be valid here (every path that dirties a line clears it, and
-        this path does not memoize), so the full dispatch always runs.
-        """
-        set_index = self.geometry.set_of(addr)
-        way = self.tags.lookup(addr)
-        if way is not None and self.tags.is_dirty(set_index, way):
-            # Peek at the outcome path: a detected-uncorrectable error
-            # here loses modified data.
-            self.stats.reads += 1
-            outcome = self.scheme.on_read_hit(set_index, way)
-            lat = self.latencies
-            if outcome is AccessOutcome.CLEAN:
-                self.stats.read_hits += 1
-                self.lru.touch(set_index, way)
-                return lat.hit
-            if outcome is AccessOutcome.CORRECTED:
-                self.stats.read_hits += 1
-                self.stats.corrected_reads += 1
-                self.lru.touch(set_index, way)
-                return lat.hit + lat.correction
-            # Data loss: the only copy was modified and is now gone.
-            self._hit_stamp[set_index * self._assoc + way] = -1
-            self.stats.error_induced_misses += 1
-            self.stats.bump("due_on_dirty")
-            if outcome is AccessOutcome.DISABLE_MISS:
-                self.tags.disable(set_index, way)
-            else:
-                self.tags.invalidate(set_index, way)
-            self.lru.demote(set_index, way)
-            return lat.hit + self._miss(addr)
-        return super().read(addr)

@@ -27,7 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cache.geometry import CacheGeometry
-from repro.cache.protection import AccessOutcome, ProtectionScheme
+from repro.cache.hooks import AccessOutcome, ProtectionScheme, make_replay_guard
 from repro.core.config import KilliConfig
 from repro.core.dfh import Classification, Dfh, DfhAction, classify
 from repro.core.ecc_cache import EccCache
@@ -482,7 +482,7 @@ class KilliScheme(ProtectionScheme):
             salts = np.asarray(line_nos, dtype=np.int64) // n_sets
             return errors.fills_would_be_clean(slots, salts)
 
-        return ((False, 1, 0), None, (unsafe, fill_ok, fills_ok))
+        return ((False, 1, 0), None, make_replay_guard(unsafe, fill_ok, fills_ok))
 
     def batch_interpreter(self, cache):
         """Cluster-exact shadow interpreter for the batched engine.

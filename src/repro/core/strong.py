@@ -23,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cache.geometry import CacheGeometry
-from repro.cache.protection import AccessOutcome
+from repro.cache.hooks import AccessOutcome
 from repro.core.config import KilliConfig
 from repro.core.dfh import Dfh
 from repro.core.killi import KilliScheme

@@ -9,7 +9,7 @@ line holding *dirty* data is upgraded based on its DFH —
   by combining the entry's 12 freed parity bits with its 11 SECDED
   bits (21 <= 23);
 - a detected-uncorrectable error on a dirty line is a DUE (data loss),
-  counted by :class:`repro.cache.wbcache.WriteBackCache`.
+  counted by :class:`repro.cache.core.WriteBackCache`.
 
 This increases ECC-cache contention (dirty b'00 lines now occupy
 entries), which is exactly the cost the paper predicts; the write-back
@@ -18,7 +18,7 @@ benchmarks quantify it.
 
 from __future__ import annotations
 
-from repro.cache.protection import AccessOutcome
+from repro.cache.hooks import AccessOutcome
 from repro.core.dfh import Dfh
 from repro.core.killi import KilliScheme
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cache.geometry import CacheGeometry
-from repro.cache.wtcache import CacheLatencies
+from repro.cache.core import CacheLatencies
 
 __all__ = ["GpuConfig"]
 

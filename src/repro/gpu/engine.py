@@ -37,16 +37,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.cache.protection import ProtectionScheme
+from repro.cache.core import WriteThroughCache
+from repro.cache.hooks import ProtectionScheme, batched_surface
 from repro.cache.soa import export_set_state, replay_clean_set, resolve_substrate
 from repro.cache.stats import CacheStats
-from repro.cache.wtcache import WriteThroughCache
 from repro.gpu.config import GpuConfig
 from repro.gpu.hierarchy import SimpleL1
 from repro.gpu.l1filter import run_l1_stream_memo
+from repro.metrics import METRICS
 from repro.scenario.registries import ENGINE_REGISTRY
 from repro.traces.base import Trace
-from repro.utils.metrics import METRICS
 
 __all__ = ["ENGINES", "KernelResult", "GpuSimulator"]
 
@@ -399,7 +399,7 @@ class GpuSimulator:
         replays the access).  Stage 3 partitions the residue by L2 set:
 
         - A set the cache hands a *replay profile* for
-          (:meth:`~repro.cache.wtcache.WriteThroughCache.set_replay_profile`)
+          (:meth:`~repro.cache.core.CacheModel.set_replay_profile`)
           is simulated by :func:`~repro.cache.soa.replay_clean_set` —
           plain set-associative LRU over the set's subsequence, O(1)
           per access, no scheme or stats dispatch.  The profile may
@@ -410,7 +410,7 @@ class GpuSimulator:
           the set's *entire remaining* subsequence at once, and
           tag/LRU state plus the aggregate stat deltas are applied in
           bulk afterwards
-          (:meth:`~repro.cache.wtcache.WriteThroughCache.apply_set_replays`).
+          (:meth:`~repro.cache.core.CacheModel.commit_set_replays`).
         - All other accesses run through ``l2.read`` / ``l2.write`` in
           original global order — preserving the RNG draw sequence and
           the ECC-cache interleave across sets, which is what keeps
@@ -470,11 +470,13 @@ class GpuSimulator:
         l2_read = l2.read
         l2_write = l2.write
 
-        # Only the plain write-through L2 has batchable semantics (the
-        # write-back variant swaps in a different access protocol).
-        interp = None
-        if type(l2) is WriteThroughCache:
-            interp = l2.scheme.batch_interpreter(l2)
+        # One gate for all bulk replay: the transaction layer decides
+        # whether the L2's scalar semantics are batchable at all
+        # (write-back / write-allocate protocols and subclassed access
+        # paths refuse), and hands back the scheme's batch interpreter
+        # when one exists.
+        surface = batched_surface(l2)
+        interp = surface.interpreter if surface is not None else None
         guard_aborts = 0
         interp_done = False
         if interp is not None:
@@ -529,7 +531,7 @@ class GpuSimulator:
                     heapq.heappush(heap, (idxs[k], c, k))
             lat = np.asarray(lat_list, dtype=np.int64)
             interp_done = True
-        elif type(l2) is WriteThroughCache:
+        elif surface is not None:
             set_idx = line_nos % n_sets
             # Stage 3: set partition.  Stable grouping keeps each set's
             # subsequence in original (round-major/CU-minor) order.
@@ -651,37 +653,21 @@ class GpuSimulator:
                 n_fallback += 1
 
             if pending:
-                # Deferred state write-back and batched stat deltas,
-                # applied once for all replayed sets.
-                l2.apply_set_replays(pending)
-                st = l2.stats
-                n_miss = len(miss_all)
-                agg_reads, agg_read_hits, agg_writes, agg_write_hits, agg_evs = agg
-                st.reads += agg_reads
-                st.read_hits += agg_read_hits
-                st.read_misses += n_miss
-                st.fills += n_miss
-                st.evictions += agg_evs
-                st.writes += agg_writes
-                st.write_hits += agg_write_hits
-                st.write_misses += agg_writes - agg_write_hits
-                l2.memory_reads += n_miss
-                l2.memory_writes += agg_writes
-                scheme = l2.scheme
-                for info, hits in bulk_hits.items():
-                    if info[0]:
-                        st.corrected_reads += hits
-                    scheme.apply_replay_bulk(info, hits)
+                # Deferred state write-back, batched stat deltas and
+                # scheme bulk hooks all land through the transaction
+                # layer's single commit point; only the per-access
+                # latency classes stay engine-side.  ``corrected_all``
+                # are per-way CORRECTED hits (oracle faulty-but-within-
+                # budget lines): +1 cycle over their set's base hit
+                # latency, scheme-side effects already covered by the
+                # set's uniform ``info``.
+                l2.commit_set_replays(
+                    pending, agg, len(miss_all), bulk_hits, len(corrected_all)
+                )
                 for hit_lat, arrs in lat_groups.items():
                     cat = arrs[0] if len(arrs) == 1 else np.concatenate(arrs)
                     lat[cat] = np.where(r_stores[cat], lat_tag, hit_lat)
                 if corrected_all:
-                    # Per-way CORRECTED hits (oracle faulty-but-within-
-                    # budget lines): +1 cycle over their set's base hit
-                    # latency.  Scheme-side effects already followed the
-                    # set's uniform ``info`` above; only the cache stat
-                    # and the latency class differ.
-                    st.corrected_reads += len(corrected_all)
                     lat[np.asarray(corrected_all, dtype=np.int64)] = (
                         l2._lat_hit_corrected
                     )

@@ -1,8 +1,10 @@
 """Per-CU L1 cache.
 
 The L1s run at nominal voltage (only the L2 data array is
-under-volted in the paper), so they need no protection scheme — just a
-fast write-through, no-write-allocate filter in front of the L2.
+under-volted in the paper), so they need no protection scheme — the
+L1 is the write-through / no-write-allocate / plain-LRU-fill preset
+of the unified :class:`~repro.cache.core.CacheModel`, serving as a
+fast filter in front of the L2.
 
 Like the L2, the L1 tag/LRU state runs on either the object substrate
 (reference) or the struct-of-arrays substrate (fast path).  Because an
@@ -15,54 +17,40 @@ state back.
 
 from __future__ import annotations
 
+from repro.cache.core import LRU_FILL, CacheModel
 from repro.cache.geometry import CacheGeometry
-from repro.cache.soa import resolve_substrate, substrate_spec
-from repro.cache.stats import CacheStats
 
 __all__ = ["SimpleL1"]
 
 
-class SimpleL1:
-    """Write-through, no-write-allocate L1 with LRU replacement."""
+class SimpleL1(CacheModel):
+    """Write-through, no-write-allocate L1 with plain-LRU fill.
+
+    A thin boolean adapter over the transaction layer: ``read`` /
+    ``write`` return hit/miss instead of latency (the engine accounts
+    L1 latency itself), while the underlying semantics — stats, LRU
+    ages, the always-LRU victim convention the batched L1 filter
+    replays — are :class:`~repro.cache.core.CacheModel`'s under the
+    :data:`~repro.cache.core.LRU_FILL` allocation policy.
+    """
 
     def __init__(self, geometry: CacheGeometry, substrate: str | None = None):
-        self.geometry = geometry
-        self.substrate = resolve_substrate(substrate)
-        spec = substrate_spec(self.substrate)
-        self.tags = spec.tag_store(geometry)
-        self.lru = spec.lru(geometry)
-        self.stats = CacheStats()
+        CacheModel.__init__(
+            self, geometry, substrate=substrate, allocation_policy=LRU_FILL
+        )
 
     def read(self, addr: int) -> bool:
         """Read; returns True on hit.  Misses allocate."""
-        self.stats.reads += 1
-        set_index = self.geometry.set_of(addr)
-        way = self.tags.lookup(addr)
-        if way is not None:
-            self.stats.read_hits += 1
-            self.lru.touch(set_index, way)
-            return True
-        self.stats.read_misses += 1
-        # No way is ever disabled here, so the plain LRU way is always
-        # the victim — an O(1) choice, no recency list materialized.
-        victim = self.lru.lru_way(set_index)
-        if self.tags.is_valid(set_index, victim):
-            self.stats.evictions += 1
-        self.tags.insert(addr, victim)
-        self.stats.fills += 1
-        self.lru.touch(set_index, victim)
-        return False
+        # The unprotected scheme never converts a hit into an
+        # error-induced miss, so the latency class alone separates
+        # hit (tag+data+check) from miss (tag+memory).
+        return CacheModel.read(self, addr) < self._lat_miss
 
     def write(self, addr: int) -> bool:
         """Write-through; updates the copy on hit, never allocates."""
-        self.stats.writes += 1
-        way = self.tags.lookup(addr)
-        if way is not None:
-            self.stats.write_hits += 1
-            self.lru.touch(self.geometry.set_of(addr), way)
-            return True
-        self.stats.write_misses += 1
-        return False
+        hits = self.stats.write_hits
+        CacheModel.write(self, addr)
+        return self.stats.write_hits != hits
 
     # -- batched-filter state interchange ----------------------------------
     #

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.metrics import METRICS
+from repro.metrics import METRICS
 
 __all__ = ["run_l1_stream", "run_l1_stream_memo", "l1_is_virgin"]
 

@@ -25,7 +25,7 @@ from repro.harness.experiments import (
     table7_olsc,
 )
 from repro.harness.journal import CellFailure, RunJournal
-from repro.harness.metrics import METRICS
+from repro.metrics import METRICS
 from repro.harness.results import PerfPoint, PerformanceMatrix
 from repro.harness.runner import (
     CampaignError,

@@ -161,7 +161,7 @@ def ablate_parity_interleaving(
     segment — even count, invisible — and is served as corrupt data.
     """
     from repro.cache.geometry import CacheGeometry
-    from repro.cache.wtcache import WriteThroughCache
+    from repro.cache.core import WriteThroughCache
     from repro.faults.soft_errors import SoftErrorInjector
 
     geometry = CacheGeometry(size_bytes=256 * 1024, line_bytes=64, associativity=16)

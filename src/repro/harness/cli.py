@@ -30,7 +30,7 @@ import json
 import sys
 
 from repro.harness import experiments
-from repro.harness.metrics import METRICS
+from repro.metrics import METRICS
 from repro.harness.runner import CampaignError
 from repro.utils.tables import format_table
 

@@ -19,14 +19,13 @@ from repro.core import KilliConfig, KilliScheme
 from repro.faults import CellFaultModel, FaultMap, FaultMechanism, LineFaultModel
 from repro.harness.results import PerformanceMatrix
 from repro.harness.runner import (
-    KILLI_RATIOS,
     LV_VOLTAGE,
     make_scheme,
     run_cells,
     scheme_names,
 )
 from repro.scenario.config import cell_scenario
-from repro.scenario.schemes import resolve_scheme
+from repro.scenario.schemes import KILLI_RATIOS, resolve_scheme
 from repro.traces import workload_names
 from repro.utils.rng import RngFactory
 
@@ -323,7 +322,7 @@ def soft_error_campaign(
     """
     from repro.baselines.functional import FunctionalSecDedLineScheme
     from repro.cache.geometry import CacheGeometry
-    from repro.cache.wtcache import WriteThroughCache
+    from repro.cache.core import WriteThroughCache
     from repro.faults.soft_errors import SoftErrorInjector
 
     rngs = RngFactory(seed)

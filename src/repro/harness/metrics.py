@@ -1,19 +1,24 @@
-"""Telemetry facade for the experiment harness.
+"""Deprecated alias of :mod:`repro.metrics`.
 
-The implementation lives in :mod:`repro.utils.metrics` so that lower
-layers (the GPU engine's phase timers, the result-cache path) can
-record into the same process-wide sink without importing the harness
-package; this module is the harness-level name campaigns and the CLI
-use.
+The harness-level telemetry facade merged into the unified
+:mod:`repro.metrics` namespace; this shim keeps
+``from repro.harness.metrics import METRICS`` sites working while
+emitting a :class:`DeprecationWarning`.
 
 Counters and timers recorded by the built-in instrumentation are
-documented in ``docs/campaign-robustness.md``.  Everything is off by
-default; enable with ``METRICS.enable()``, the ``--telemetry`` CLI
-flag, or the ``REPRO_TELEMETRY`` environment variable.
+documented in ``docs/campaign-robustness.md``.
 """
 
 from __future__ import annotations
 
-from repro.utils.metrics import METRICS, Metrics, TELEMETRY_ENV
+import warnings
+
+from repro.metrics.telemetry import METRICS, Metrics, TELEMETRY_ENV
 
 __all__ = ["Metrics", "METRICS", "TELEMETRY_ENV"]
+
+warnings.warn(
+    "repro.harness.metrics is deprecated; import from repro.metrics instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -57,20 +57,19 @@ from dataclasses import asdict, dataclass
 from functools import lru_cache
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.cache.wbcache import WriteBackCache
+from repro.cache.core import WriteBackCache
 from repro.faults import FaultMap
 from repro.gpu import GpuSimulator
 from repro.harness.journal import CellFailure, RunJournal, finished_fingerprints
 from repro.harness.results import PerfPoint
 from repro.scenario.config import ScenarioConfig, as_scenario
 from repro.scenario.schemes import (
-    KILLI_RATIOS,
     LV_VOLTAGE,
     make_scheme,
     scheme_names,
 )
 from repro.traces import workload_trace_memo
-from repro.utils.metrics import METRICS
+from repro.metrics import METRICS
 from repro.utils.rng import RngFactory
 
 __all__ = [

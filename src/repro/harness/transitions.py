@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cache.protection import UnprotectedScheme
+from repro.cache.hooks import UnprotectedScheme
 from repro.core import KilliConfig
 from repro.faults import FaultMap
 from repro.gpu import GpuConfig, GpuSimulator

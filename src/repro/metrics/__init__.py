@@ -1,0 +1,28 @@
+"""Unified metrics namespace.
+
+Two halves, previously split across ``repro.utils.metrics`` (the
+process-wide telemetry sink) and ``repro.harness.metrics`` (the
+harness-level facade over it):
+
+- :mod:`repro.metrics.telemetry` — the :class:`Metrics` counters +
+  timers sink and its process-wide :data:`METRICS` instance.  Off by
+  default; enable with ``METRICS.enable()``, the CLI ``--telemetry``
+  flag, or the ``REPRO_TELEMETRY`` environment variable.
+- :mod:`repro.metrics.derived` — pure derived-metric helpers
+  (:func:`geomean`, :func:`speedup`) used by the bench harness.
+
+The old module paths remain as deprecation shims.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.derived import geomean, speedup
+from repro.metrics.telemetry import METRICS, Metrics, TELEMETRY_ENV
+
+__all__ = [
+    "Metrics",
+    "METRICS",
+    "TELEMETRY_ENV",
+    "geomean",
+    "speedup",
+]

@@ -1,0 +1,49 @@
+"""Derived-metric helpers shared by the bench harness and reports.
+
+Pure functions over recorded numbers — no state, no telemetry sink.
+The process-wide sink lives in :mod:`repro.metrics.telemetry`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["geomean", "speedup"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values.
+
+    The bench harness summarizes per-cell speedup ratios with a
+    geometric mean (the conventional aggregate for ratios: it is
+    symmetric in which configuration is the baseline).  Raises
+    ``ValueError`` on an empty or non-positive input, which would
+    otherwise silently produce a meaningless aggregate.
+    """
+    total = 0.0
+    count = 0
+    for value in values:
+        if value <= 0.0:
+            raise ValueError(f"geomean requires positive values, got {value!r}")
+        total += math.log(value)
+        count += 1
+    if count == 0:
+        raise ValueError("geomean of an empty sequence")
+    return math.exp(total / count)
+
+
+def speedup(baseline_seconds: Sequence[float], candidate_seconds: Sequence[float]) -> float:
+    """Geomean speedup of *candidate* over *baseline* (>1 = faster).
+
+    Inputs are paired per-cell wall-clock times; the cells must line
+    up index-for-index.
+    """
+    if len(baseline_seconds) != len(candidate_seconds):
+        raise ValueError(
+            "speedup needs paired samples: "
+            f"{len(baseline_seconds)} baseline vs {len(candidate_seconds)} candidate"
+        )
+    return geomean(
+        b / c for b, c in zip(baseline_seconds, candidate_seconds)
+    )

@@ -173,3 +173,7 @@ class SubstrateSpec:
     tag_store: Callable  # (geometry) -> tag store
     lru: Callable  # (geometry) -> LRU state
     description: str = ""
+    reference: bool = False
+    """True for the pinned reference implementation of the unified
+    :class:`repro.cache.core.CacheModel` — the substrate equivalence
+    suites compare every other substrate against this one."""

@@ -27,7 +27,7 @@ import numpy as np
 from repro.scenario.registries import WORKLOAD_REGISTRY
 from repro.traces.base import Trace
 from repro.traces.generators import WorkloadSpec, generate_trace
-from repro.utils.metrics import METRICS
+from repro.metrics import METRICS
 from repro.utils.rng import RngFactory
 
 __all__ = [

@@ -1,187 +1,20 @@
-"""Lightweight counters + timers for campaign telemetry.
+"""Deprecated alias of :mod:`repro.metrics.telemetry`.
 
-A single process-wide :data:`METRICS` instance collects named counters
-and timing observations from the campaign runner, the result-cache
-path and the simulation engine.  The design constraint is *near-zero
-overhead when disabled*: every mutating call is guarded by one
-attribute check, and :meth:`Metrics.timer` returns a shared no-op
-context manager instead of allocating one.
-
-Telemetry is disabled by default and switched on either explicitly
-(``METRICS.enable()``, the CLI ``--telemetry`` flag) or by setting the
-``REPRO_TELEMETRY`` environment variable — the env var is also how
-enablement propagates into process-pool workers.  Workers return their
-per-cell deltas via :meth:`Metrics.drain`, which the parent folds back
-in with :meth:`Metrics.merge`, so a parallel campaign's summary covers
-work done in every process.
+The telemetry sink moved to the unified :mod:`repro.metrics`
+namespace; this shim keeps ``from repro.utils.metrics import METRICS``
+sites working while emitting a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import os
-import time
-from typing import Dict, List, Optional
+import warnings
 
-from repro.utils.tables import format_table
+from repro.metrics.telemetry import METRICS, Metrics, TELEMETRY_ENV
 
 __all__ = ["Metrics", "METRICS", "TELEMETRY_ENV"]
 
-#: Environment switch: any value other than "" / "0" enables telemetry
-#: (checked once at import; also how enablement reaches pool workers).
-TELEMETRY_ENV = "REPRO_TELEMETRY"
-
-
-class _NullTimer:
-    """Shared no-op context manager returned while telemetry is off."""
-
-    __slots__ = ()
-
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc):
-        return False
-
-
-_NULL_TIMER = _NullTimer()
-
-
-class _Timer:
-    """Context manager recording one wall-clock observation."""
-
-    __slots__ = ("_metrics", "_name", "_start")
-
-    def __init__(self, metrics: "Metrics", name: str):
-        self._metrics = metrics
-        self._name = name
-
-    def __enter__(self):
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc):
-        self._metrics.observe(self._name, time.perf_counter() - self._start)
-        return False
-
-
-class Metrics:
-    """Named counters and (count, total, max) timing aggregates."""
-
-    __slots__ = ("enabled", "counters", "timers")
-
-    def __init__(self, enabled: Optional[bool] = None):
-        if enabled is None:
-            enabled = os.environ.get(TELEMETRY_ENV, "") not in ("", "0")
-        self.enabled = bool(enabled)
-        self.counters: Dict[str, int] = {}
-        self.timers: Dict[str, List[float]] = {}
-
-    # -- lifecycle -----------------------------------------------------------
-
-    def enable(self, propagate_env: bool = True) -> None:
-        """Start recording; optionally mark the environment so pool
-        workers (which re-read :data:`TELEMETRY_ENV` on import) record
-        too."""
-        self.enabled = True
-        if propagate_env:
-            os.environ[TELEMETRY_ENV] = "1"
-
-    def disable(self, propagate_env: bool = True) -> None:
-        self.enabled = False
-        if propagate_env:
-            os.environ.pop(TELEMETRY_ENV, None)
-
-    def reset(self) -> None:
-        self.counters.clear()
-        self.timers.clear()
-
-    # -- recording -----------------------------------------------------------
-
-    def incr(self, name: str, n: int = 1) -> None:
-        if self.enabled:
-            self.counters[name] = self.counters.get(name, 0) + n
-
-    def observe(self, name: str, seconds: float) -> None:
-        if self.enabled:
-            stat = self.timers.get(name)
-            if stat is None:
-                self.timers[name] = [1, seconds, seconds]
-            else:
-                stat[0] += 1
-                stat[1] += seconds
-                if seconds > stat[2]:
-                    stat[2] = seconds
-
-    def timer(self, name: str):
-        """``with METRICS.timer("phase"):`` — no-op object when disabled."""
-        return _Timer(self, name) if self.enabled else _NULL_TIMER
-
-    # -- aggregation ---------------------------------------------------------
-
-    def snapshot(self) -> dict:
-        """JSON-ready view of everything recorded so far."""
-        return {
-            "counters": dict(self.counters),
-            "timers": {
-                name: {
-                    "count": int(count),
-                    "total_s": round(total, 6),
-                    "max_s": round(worst, 6),
-                }
-                for name, (count, total, worst) in self.timers.items()
-            },
-        }
-
-    def drain(self) -> dict:
-        """Snapshot and reset — a worker's per-cell delta for the parent."""
-        snap = self.snapshot()
-        self.reset()
-        return snap
-
-    def merge(self, snapshot: dict) -> None:
-        """Fold a :meth:`drain`/:meth:`snapshot` payload into this
-        instance (used by the campaign runner to aggregate worker
-        telemetry).  Merging ignores the enabled flag so late-arriving
-        worker deltas are never dropped."""
-        for name, value in snapshot.get("counters", {}).items():
-            self.counters[name] = self.counters.get(name, 0) + int(value)
-        for name, stat in snapshot.get("timers", {}).items():
-            count = int(stat["count"])
-            total = float(stat["total_s"])
-            worst = float(stat["max_s"])
-            mine = self.timers.get(name)
-            if mine is None:
-                self.timers[name] = [count, total, worst]
-            else:
-                mine[0] += count
-                mine[1] += total
-                if worst > mine[2]:
-                    mine[2] = worst
-
-    # -- presentation --------------------------------------------------------
-
-    def summary_table(self, title: str = "telemetry") -> str:
-        """Counters and timers as one aligned ASCII table."""
-        rows = []
-        for name in sorted(self.counters):
-            rows.append((name, self.counters[name], "", "", ""))
-        for name in sorted(self.timers):
-            count, total, worst = self.timers[name]
-            rows.append((
-                name,
-                int(count),
-                f"{total:.3f}",
-                f"{total / count:.4f}" if count else "",
-                f"{worst:.4f}",
-            ))
-        if not rows:
-            rows.append(("(no events recorded)", "", "", "", ""))
-        return format_table(
-            ["metric", "count", "total_s", "mean_s", "max_s"],
-            rows,
-            title=title,
-        )
-
-
-#: The process-wide telemetry sink.
-METRICS = Metrics()
+warnings.warn(
+    "repro.utils.metrics is deprecated; import from repro.metrics instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -1,11 +1,8 @@
 """Tests for the functional per-line SECDED scheme."""
 
-import pytest
-
 from repro.baselines.functional import FunctionalSecDedLineScheme
 from repro.cache.geometry import CacheGeometry
-from repro.cache.protection import AccessOutcome
-from repro.cache.wtcache import WriteThroughCache
+from repro.cache.core import WriteThroughCache
 from repro.faults.fault_map import FaultMap
 from repro.utils.rng import RngFactory
 
@@ -72,7 +69,6 @@ class TestSoftErrorWeakness:
         # Contrast: Killi's 4-segment parity sees 3 mismatching
         # segments on the same error vector.
         from repro.core import KilliConfig, KilliScheme
-        from repro.core.dfh import Dfh
 
         fault_map = FaultMap.from_faults(GEO.n_lines, {})
         scheme = KilliScheme(

@@ -5,8 +5,7 @@ import pytest
 from repro.baselines import DectedScheme, FlairScheme, MsEccScheme, SecDedLineScheme
 from repro.baselines.oracle import OracleEccScheme
 from repro.cache.geometry import CacheGeometry
-from repro.cache.protection import AccessOutcome
-from repro.cache.wtcache import WriteThroughCache
+from repro.cache.core import WriteThroughCache
 from repro.faults.fault_map import FaultMap
 
 GEO = CacheGeometry(size_bytes=16 * 1024, line_bytes=64, associativity=4)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.replacement import LruState
-from repro.cache.setassoc import SetAssocCache
+from repro.cache.object_store import SetAssocCache
 
 
 @pytest.fixture

@@ -12,7 +12,7 @@ import pytest
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.replacement import LruState
-from repro.cache.setassoc import SetAssocCache
+from repro.cache.object_store import SetAssocCache
 from repro.cache.soa import (
     SUBSTRATES,
     SoaLruState,

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.cache.geometry import CacheGeometry
-from repro.cache.protection import AccessOutcome, ProtectionScheme, UnprotectedScheme
-from repro.cache.wbcache import WriteBackCache
+from repro.cache.hooks import AccessOutcome, ProtectionScheme, UnprotectedScheme
+from repro.cache.core import WriteBackCache
 
 
 @pytest.fixture

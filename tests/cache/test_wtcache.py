@@ -3,8 +3,8 @@
 import pytest
 
 from repro.cache.geometry import CacheGeometry
-from repro.cache.protection import AccessOutcome, ProtectionScheme, UnprotectedScheme
-from repro.cache.wtcache import CacheLatencies, WriteThroughCache
+from repro.cache.hooks import AccessOutcome, ProtectionScheme, UnprotectedScheme
+from repro.cache.core import CacheLatencies, WriteThroughCache
 
 
 @pytest.fixture

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cache.geometry import CacheGeometry
-from repro.cache.wtcache import WriteThroughCache
+from repro.cache.core import WriteThroughCache
 from repro.core.config import KilliConfig
 from repro.core.dfh import Dfh
 from repro.core.killi import KilliScheme

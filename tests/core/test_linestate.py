@@ -1,6 +1,5 @@
 """Tests for the sparse per-line error model."""
 
-import numpy as np
 import pytest
 
 from repro.core.layout import LineLayout

@@ -1,10 +1,9 @@
 """Tests for Killi with stronger ECC-cache codes (Sections 5.2/5.5)."""
 
 import numpy as np
-import pytest
 
 from repro.cache.geometry import CacheGeometry
-from repro.cache.wtcache import WriteThroughCache
+from repro.cache.core import WriteThroughCache
 from repro.core.config import KilliConfig
 from repro.core.dfh import Dfh
 from repro.core.strong import KilliStrongScheme

@@ -8,7 +8,6 @@ outcome the paper's row prescribes.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.datapath import BitAccurateDataPath
 from repro.core.dfh import Dfh, DfhAction, classify

@@ -2,11 +2,10 @@
 training (5.6.2)."""
 
 import numpy as np
-import pytest
 
 from repro.cache.geometry import CacheGeometry
-from repro.cache.wbcache import WriteBackCache
-from repro.cache.wtcache import WriteThroughCache
+from repro.cache.core import WriteBackCache
+from repro.cache.core import WriteThroughCache
 from repro.core.config import KilliConfig
 from repro.core.dfh import Dfh
 from repro.core.killi import KilliScheme

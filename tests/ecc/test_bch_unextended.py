@@ -1,6 +1,5 @@
 """Tests for the unextended BCH path and internal mappings."""
 
-import numpy as np
 import pytest
 
 from repro.ecc.base import DecodeStatus
@@ -66,7 +65,7 @@ class TestDegreeMapping:
 
 class TestMultiKernelStats:
     def test_stats_accumulate_across_kernels(self):
-        from repro.cache.protection import UnprotectedScheme
+        from repro.cache.hooks import UnprotectedScheme
         from repro.gpu import GpuConfig, GpuSimulator
         from repro.traces import workload_trace
         from repro.utils.rng import RngFactory

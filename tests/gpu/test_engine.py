@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cache.geometry import CacheGeometry
-from repro.cache.protection import UnprotectedScheme
+from repro.cache.hooks import UnprotectedScheme
 from repro.gpu.config import GpuConfig
 from repro.gpu.engine import GpuSimulator
 from repro.gpu.hierarchy import SimpleL1

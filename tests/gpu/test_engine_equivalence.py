@@ -13,13 +13,13 @@ import numpy as np
 import pytest
 
 from repro.cache.geometry import CacheGeometry
-from repro.cache.protection import ProtectionScheme, UnprotectedScheme
+from repro.cache.hooks import UnprotectedScheme
 from repro.gpu.config import GpuConfig
 from repro.gpu.engine import GpuSimulator
 from repro.harness.runner import CellSpec, fault_map_for, make_scheme, run_cell
 from repro.traces import workload_trace
 from repro.traces.base import CuStream, Trace
-from repro.utils.metrics import METRICS
+from repro.metrics import METRICS
 from repro.utils.rng import RngFactory
 
 ENGINES = ("scalar", "vectorized", "batched")

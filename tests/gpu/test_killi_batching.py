@@ -35,7 +35,7 @@ from repro.gpu.engine import GpuSimulator
 from repro.harness.runner import fault_map_for, make_scheme
 from repro.traces import workload_trace
 from repro.traces.base import CuStream, Trace
-from repro.utils.metrics import METRICS
+from repro.metrics import METRICS
 from repro.utils.rng import RngFactory
 
 ENGINES = ("scalar", "vectorized", "batched")

@@ -12,7 +12,7 @@ substrate is the reference.
 import pytest
 
 from repro.cache.geometry import CacheGeometry
-from repro.cache.wtcache import WriteThroughCache
+from repro.cache.core import WriteThroughCache
 from repro.gpu.config import GpuConfig
 from repro.gpu.engine import GpuSimulator
 from repro.harness.experiments import fig4_fig5_performance

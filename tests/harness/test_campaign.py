@@ -12,8 +12,6 @@ the runner's execution wrapper — including inside pool workers —
 while ``run_cell`` itself stays pure.
 """
 
-import os
-
 import pytest
 
 from repro.harness.faultinject import INJECT_ENV, InjectedWorkerFault, maybe_inject
@@ -23,7 +21,7 @@ from repro.harness.runner import (
     _store_cached,
     run_cells,
 )
-from repro.utils.metrics import METRICS
+from repro.metrics import METRICS
 
 ACCESSES = 200
 

@@ -3,8 +3,6 @@
 import csv
 import io
 
-import pytest
-
 from repro.harness.ablations import (
     ablate_eviction_training,
     ablate_inverted_write_training,

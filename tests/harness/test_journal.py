@@ -6,10 +6,6 @@ its results are bit-identical to a straight-through run — because the
 finished cells come back from the same fingerprint-keyed result cache.
 """
 
-import json
-
-import pytest
-
 from repro.harness.journal import (
     SUCCESS_STATUSES,
     CellFailure,

@@ -7,7 +7,6 @@ engine variant, or whether it came from the on-disk cache.
 
 import dataclasses
 import json
-import os
 
 import pytest
 

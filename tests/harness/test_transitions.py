@@ -74,7 +74,7 @@ class TestMultiKernel:
         assert second_kernel < first_kernel
 
     def test_run_kernels_returns_per_kernel_results(self):
-        from repro.cache.protection import UnprotectedScheme
+        from repro.cache.hooks import UnprotectedScheme
         from repro.gpu import GpuConfig, GpuSimulator
         from repro.traces import workload_trace
         from repro.utils.rng import RngFactory

@@ -12,13 +12,12 @@ structural invariants after every step:
 5. Stats consistency: hits + misses == accesses, fills <= misses.
 """
 
-import numpy as np
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.cache.geometry import CacheGeometry
-from repro.cache.wtcache import WriteThroughCache
+from repro.cache.core import WriteThroughCache
 from repro.core.config import KilliConfig
 from repro.core.dfh import Dfh
 from repro.core.killi import KilliScheme

@@ -11,7 +11,6 @@ import pytest
 from repro.cache import CacheGeometry, WriteThroughCache
 from repro.core import Dfh, KilliConfig, KilliScheme
 from repro.faults import CellFaultModel, FaultMap
-from repro.utils.rng import RngFactory
 
 GEO = CacheGeometry(size_bytes=64 * 1024, line_bytes=64, associativity=16)
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.baselines import DectedScheme, FlairScheme, MsEccScheme
-from repro.cache.protection import UnprotectedScheme
+from repro.cache.hooks import UnprotectedScheme
 from repro.cache.soa import SoaTagStore, resolve_substrate
 from repro.core import KilliScheme
 from repro.core.strong import KilliStrongScheme

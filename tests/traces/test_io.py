@@ -21,7 +21,7 @@ class TestRoundTrip:
             assert (a.gaps == b.gaps).all()
 
     def test_simulation_identical_after_reload(self, tmp_path, rngs):
-        from repro.cache.protection import UnprotectedScheme
+        from repro.cache.hooks import UnprotectedScheme
         from repro.gpu import GpuConfig, GpuSimulator
 
         trace = workload_trace("nekbone", 400, rng=rngs.stream("t"))

@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from repro.utils.metrics import METRICS, TELEMETRY_ENV, Metrics
+from repro.metrics import METRICS, TELEMETRY_ENV, Metrics
 
 
 @pytest.fixture
