@@ -38,6 +38,8 @@ re-state the semantics themselves.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 
 from repro.cache.geometry import CacheGeometry
@@ -50,6 +52,7 @@ from repro.cache.soa import (
     substrate_spec,
 )
 from repro.cache.stats import CacheStats
+from repro.testing.invariants import check_set_invariants, invariants_enabled
 
 __all__ = [
     "CacheLatencies",
@@ -287,6 +290,41 @@ class CacheModel:
             and self._prefer_invalid
             and _access_protocol_unchanged(type(self))
         )
+        # Armed runtime invariants (REPRO_CHECK_INVARIANTS): every
+        # access re-checks its set's structural invariants after it
+        # resolves, and the bulk commit point re-checks each replayed
+        # set.  Arming wraps the bound access methods per instance, so
+        # the disarmed hot path carries no extra branch at all.
+        self._check_invariants = invariants_enabled()
+        if self._check_invariants:
+            self._arm_invariants()
+
+    def _arm_invariants(self) -> None:
+        """Shadow ``read``/``write`` with invariant-checking wrappers.
+
+        Instance-attribute shadowing keeps the class-level access
+        protocol untouched (``semantics_batchable`` still sees the
+        pristine methods) while every caller — :meth:`execute`, the
+        engines' cached ``l2.read``/``l2.write`` bound methods, the
+        L1 adapters — resolves to the checked wrapper.
+        """
+        inner_read = self.read
+        inner_write = self.write
+        line_bytes = self._line_bytes
+        n_sets = self._n_sets
+
+        def checked_read(addr: int):
+            result = inner_read(addr)
+            check_set_invariants(self, (addr // line_bytes) % n_sets)
+            return result
+
+        def checked_write(addr: int):
+            result = inner_write(addr)
+            check_set_invariants(self, (addr // line_bytes) % n_sets)
+            return result
+
+        self.read = checked_read
+        self.write = checked_write
 
     def bump_epoch(self) -> None:
         """Invalidate every memoized hit (scheme-side state changed)."""
@@ -588,6 +626,76 @@ class CacheModel:
                 st.corrected_reads += hits
             scheme.apply_replay_bulk(info, hits)
         st.corrected_reads += n_corrected
+        if self._check_invariants:
+            for set_index, _, _, _ in pending:
+                check_set_invariants(self, set_index)
+
+    # -- canonical observable state ----------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """Canonical, substrate-independent observable state.
+
+        Captures everything the access semantics can depend on or
+        produce: the stats counters, memory traffic, and — per set —
+        the resident line / disabled / dirty flags of every way plus
+        the LRU recency order (MRU first; both substrates induce
+        identical orders by contract).  Under ``prefer_invalid`` fill
+        (the L2 policy) the order is restricted to *valid* ways: an
+        invalid way's recency is never read there — invalid victims
+        are chosen by way index / fill priority, and ``lru_way`` is
+        only consulted on a full set — so it is dead state the
+        batched interpreter legitimately skips ``demote`` updates on.
+        Plain-LRU fill (``prefer_invalid=False``, the L1 policy) reads
+        every way's age, so the full order is recorded.  Sets still in
+        their construction state are elided, so the snapshot of a
+        lightly used 2 MB cache stays small and digests of equal-state
+        caches match regardless of how much of the geometry was
+        touched.
+
+        Deliberately *excluded*: the epoch-cache memo state
+        (``_hit_stamp`` / ``_hit_info`` and the epoch counters) — it
+        is engine- and schedule-dependent by design and can never
+        change an access outcome, only whether scheme dispatch is
+        skipped.
+        """
+        tags = self.tags
+        lru = self.lru
+        n_sets = self._n_sets
+        assoc = self._assoc
+        prefer_invalid = self._prefer_invalid
+        initial_order = [] if prefer_invalid else list(range(assoc))
+        sets = []
+        for set_index in range(n_sets):
+            ways = []
+            occupied = False
+            for way in range(assoc):
+                if tags.is_valid(set_index, way):
+                    line = tags.tag_at(set_index, way) * n_sets + set_index
+                else:
+                    line = -1
+                disabled = 1 if tags.is_disabled(set_index, way) else 0
+                dirty = 1 if tags.is_dirty(set_index, way) else 0
+                ways.append([line, disabled, dirty])
+                if line >= 0 or disabled or dirty:
+                    occupied = True
+            order = list(lru.recency_order(set_index))
+            if prefer_invalid:
+                order = [way for way in order if ways[way][0] >= 0]
+            if occupied or order != initial_order:
+                sets.append([set_index, ways, order])
+        return {
+            "geometry": [n_sets, assoc, self._line_bytes],
+            "policy": [self.write_policy.name, self.allocation_policy.name],
+            "stats": self.stats.as_dict(),
+            "memory_reads": self.memory_reads,
+            "memory_writes": self.memory_writes,
+            "sets": sets,
+        }
+
+    def state_digest(self) -> str:
+        """SHA-256 over the canonical JSON form of :meth:`state_snapshot`."""
+        blob = json.dumps(self.state_snapshot(), sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def invalidate_line(self, set_index: int, way: int, reason: str = "") -> None:
         """Invalidate a valid line from outside the access path.

@@ -315,6 +315,72 @@ class SoaTagStore:
             assert sum(1 for line in self._line_at if line >= 0) == self._n_valid
         return self._n_valid
 
+    def verify(self) -> None:
+        """Full-store consistency check (the ``REPRO_CHECK_INVARIANTS`` scan).
+
+        Cross-checks every redundant representation this store
+        maintains: the numpy flag/tag arrays against the flat
+        ``_line_at`` reverse map, the lookup ``_index`` against both,
+        and the O(1) counters against scans.  Raises
+        ``AssertionError`` on the first inconsistency; O(lines), so it
+        runs at commit/test granularity, never per access.
+        """
+        n_sets, assoc = self._n_sets, self._assoc
+        scanned_valid = int(np.count_nonzero(self.valid))
+        assert scanned_valid == self._n_valid, (
+            f"valid counter {self._n_valid} != scan {scanned_valid}"
+        )
+        scanned_disabled = int(np.count_nonzero(self.disabled))
+        assert scanned_disabled == self._n_disabled, (
+            f"disabled counter {self._n_disabled} != scan {scanned_disabled}"
+        )
+        assert len(self._index) == self._n_valid, (
+            f"lookup index holds {len(self._index)} lines, "
+            f"valid counter says {self._n_valid}"
+        )
+        assert not np.any(self.valid & self.disabled), (
+            "some line is both valid and disabled"
+        )
+        assert not np.any(self.dirty & ~self.valid), (
+            "some invalid line is marked dirty"
+        )
+        for set_index in range(n_sets):
+            base = set_index * assoc
+            row = self._line_at[base : base + assoc]
+            n_valid_set = sum(1 for line in row if line >= 0)
+            assert n_valid_set == self.valid_in_set[set_index], (
+                f"set {set_index}: valid_in_set "
+                f"{self.valid_in_set[set_index]} != scan {n_valid_set}"
+            )
+            n_dis_set = int(np.count_nonzero(self.disabled[set_index]))
+            assert n_dis_set == self.disabled_in_set[set_index], (
+                f"set {set_index}: disabled_in_set "
+                f"{self.disabled_in_set[set_index]} != scan {n_dis_set}"
+            )
+            for way, line in enumerate(row):
+                if line >= 0:
+                    assert line % n_sets == set_index, (
+                        f"line {line} resident in wrong set {set_index}"
+                    )
+                    assert self._index.get(line) == way, (
+                        f"line {line} at set {set_index} way {way} not in "
+                        f"(or aliased by) the lookup index"
+                    )
+                    assert bool(self.valid[set_index, way]), (
+                        f"set {set_index} way {way}: _line_at says valid, "
+                        "valid array disagrees"
+                    )
+                    assert int(self.tag[set_index, way]) == line // n_sets, (
+                        f"set {set_index} way {way}: tag array "
+                        f"{int(self.tag[set_index, way])} != "
+                        f"{line // n_sets} from _line_at"
+                    )
+                else:
+                    assert not bool(self.valid[set_index, way]), (
+                        f"set {set_index} way {way}: _line_at says invalid, "
+                        "valid array disagrees"
+                    )
+
 
 # -- batched set replay kernels ------------------------------------------
 #

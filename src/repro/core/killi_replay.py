@@ -64,6 +64,11 @@ import numpy as np
 from repro.cache.soa import export_set_state
 from repro.core.dfh import Dfh, DfhAction, classify_cached
 from repro.core.linestate import Signals
+from repro.testing.invariants import (
+    InvariantError,
+    check_set_invariants,
+    invariants_enabled,
+)
 
 __all__ = ["KilliClusterInterpreter"]
 
@@ -170,6 +175,13 @@ class KilliClusterInterpreter:
                 prev_hook(*args)
 
         self._errors.external_mutation_hook = _on_external_mutation
+        # Armed invariants (REPRO_CHECK_INVARIANTS): each transaction
+        # snapshots the shared RNG stream position at _begin and
+        # asserts at _commit that the simulation window drew nothing
+        # (RNG-draw-count conservation between the batched and scalar
+        # paths), then re-checks every committed set's structure.
+        self._check_invariants = invariants_enabled()
+        self._rng_mark = None
         self._cluster = -1
         self._begin(-1)
 
@@ -246,6 +258,8 @@ class KilliClusterInterpreter:
         self._d_ecc_corrections = 0
         self._d_reclass_clean = 0
         self._d_evict_disables = 0
+        if self._check_invariants and cluster >= 0:
+            self._rng_mark = repr(self._errors.rng.bit_generator.state)
 
     # -- shadow state ------------------------------------------------------
 
@@ -1043,6 +1057,15 @@ class KilliClusterInterpreter:
     # -- commit ------------------------------------------------------------
 
     def _commit(self) -> None:
+        if self._check_invariants and self._rng_mark is not None:
+            state = repr(self._errors.rng.bit_generator.state)
+            if state != self._rng_mark:
+                raise InvariantError(
+                    "[REPRO_CHECK_INVARIANTS] batched cluster simulation "
+                    f"drew shared RNG (cluster {self._cluster}): the "
+                    "interpreter window must be RNG-free — only the real "
+                    "per-access path may consume the stream"
+                )
         cache = self._cache
         tags = cache.tags
         lru = cache.lru
@@ -1160,3 +1183,6 @@ class KilliClusterInterpreter:
         cache.memory_writes += self._d_mem_writes
         scheme.hits_served += self._d_hits_served
         scheme.sdc_events += self._d_sdc
+        if self._check_invariants:
+            for set_index in self._sets:
+                check_set_invariants(cache, set_index)

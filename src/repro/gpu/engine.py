@@ -31,7 +31,9 @@ suite pins across workloads and schemes.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
+import json
 import time
 from dataclasses import dataclass, field
 
@@ -104,6 +106,48 @@ class KernelResult:
         return self.instructions / self.cycles if self.cycles > 0 else 0.0
 
 
+def _scheme_observables(scheme) -> dict:
+    """Scheme-side state visible to the harness, duck-typed.
+
+    Every field the journal / :class:`~repro.harness.runner.CellResult`
+    can surface for a scheme is captured when present: the bulk tiers
+    must leave all of them bit-identical to the scalar reference.
+    ``transitions``'s tuple keys are flattened to ``"old->new"``
+    strings so the snapshot stays canonically JSON-serialisable.
+    """
+    out: dict = {"type": type(scheme).__name__}
+    if hasattr(scheme, "dfh"):
+        out["dfh"] = [int(v) for v in scheme.dfh]
+    if hasattr(scheme, "dfh_histogram"):
+        out["dfh_histogram"] = scheme.dfh_histogram()
+    if hasattr(scheme, "transitions"):
+        out["transitions"] = {
+            f"{old}->{new}": int(count)
+            for (old, new), count in scheme.transitions.items()
+        }
+    if hasattr(scheme, "disabled_fraction"):
+        out["disabled_fraction"] = scheme.disabled_fraction()
+    for name in ("sdc_events", "hits_served"):
+        if hasattr(scheme, name):
+            out[name] = int(getattr(scheme, name))
+    ecc = getattr(scheme, "ecc", None)
+    if ecc is not None:
+        out["ecc"] = {
+            "accesses": int(ecc.accesses),
+            "allocations": int(ecc.allocations),
+            "evictions": int(ecc.evictions),
+            "occupancy": int(ecc.occupancy),
+        }
+    errors = getattr(scheme, "errors", None)
+    rng = getattr(errors, "rng", None)
+    if rng is not None:
+        # The stream *position*: equal final states across engines
+        # imply equal draw counts — the cheap global form of the
+        # RNG-conservation invariant.
+        out["rng_state"] = repr(rng.bit_generator.state)
+    return out
+
+
 class GpuSimulator:
     """8-CU GPU with private L1s and a shared protected L2.
 
@@ -145,6 +189,31 @@ class GpuSimulator:
             SimpleL1(self.config.l1_geometry(), substrate=self.substrate)
             for _ in range(self.config.n_cus)
         ]
+
+    # -- canonical observable state ----------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """Canonical observable state of the whole simulator.
+
+        Combines the L2 and per-CU L1 transaction-layer snapshots
+        (:meth:`~repro.cache.core.CacheModel.state_snapshot`) with the
+        scheme-side observables the harness reports — DFH state,
+        transition counts, ECC-cache counters, SDC events and the
+        shared RNG stream position.  This is the state the
+        differential executor (:mod:`repro.testing.differential`)
+        diffs across engine × substrate combinations; the engine and
+        substrate names themselves are deliberately excluded.
+        """
+        return {
+            "l2": self.l2.state_snapshot(),
+            "l1s": [l1.state_snapshot() for l1 in self.l1s],
+            "scheme": _scheme_observables(self.l2.scheme),
+        }
+
+    def state_digest(self) -> str:
+        """SHA-256 over the canonical JSON form of :meth:`state_snapshot`."""
+        blob = json.dumps(self.state_snapshot(), sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     @staticmethod
     def _bank_delay(bank_usage: dict, bank: int, penalty: int) -> int:

@@ -124,6 +124,12 @@ def run_l1_stream(l1, addrs, is_store, line_nos=None):
     stats.writes += writes
     stats.write_hits += write_hits
     stats.write_misses += writes - write_hits
+    # Memory-traffic counters, matching the per-access path exactly:
+    # the write-through L1 posts every store (memory_writes) and every
+    # read miss fetches (memory_reads) — the differential oracle diffs
+    # these along with the stats.
+    l1.memory_reads += reads - read_hits
+    l1.memory_writes += writes
     return l2_bound
 
 
@@ -172,6 +178,11 @@ def run_l1_stream_memo(l1, stream, addrs, is_store, line_nos=None):
         stats = l1.stats
         for name, delta in zip(_STAT_FIELDS, stat_deltas):
             setattr(stats, name, getattr(stats, name) + delta)
+        # Memory traffic is derivable from the stat deltas under the
+        # L1's write-through / no-write-allocate protocol: one posted
+        # write per store, one fetch per read miss.
+        l1.memory_reads += stat_deltas[_STAT_FIELDS.index("read_misses")]
+        l1.memory_writes += stat_deltas[_STAT_FIELDS.index("writes")]
         METRICS.incr("l1filter.memo_hits")
         return keep
     l2_bound = run_l1_stream(l1, addrs, is_store, line_nos)

@@ -459,6 +459,10 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "scenario":
         return scenario_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        from repro.testing.cli import fuzz_main
+
+        return fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="killi-experiment",
         description="Regenerate the Killi paper's tables and figures.",

@@ -47,3 +47,39 @@ def dense_fault_map(small_geometry, rngs) -> FaultMap:
         cell_model=model,
         rng=rngs.stream("dense-fault-map"),
     )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Append the last differential scenario to failure reports.
+
+    Any test that drove the oracle (directly or through a fuzz sweep)
+    gets its failing scenario's fingerprint, seed and regeneration
+    hint attached — no per-test bookkeeping required.  Guarded on the
+    module already being imported so the vast majority of tests pay
+    nothing.
+    """
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    import sys
+
+    differential = sys.modules.get("repro.testing.differential")
+    if differential is None:
+        return
+    context = differential.last_context()
+    if context is None:
+        return
+    report.sections.append((
+        "last differential scenario",
+        (
+            f"fingerprint: {context['fingerprint']}\n"
+            f"workload={context['workload']} scheme={context['scheme']} "
+            f"seed={context['seed']} "
+            f"engine={context['engine']} substrate={context['substrate']}\n"
+            f"regenerate: save the TOML below and run\n"
+            f"  repro scenario run <file>.toml\n\n"
+            f"{context['toml']}"
+        ),
+    ))

@@ -83,14 +83,16 @@ class TestWorkloadSchemeMatrix:
 
 
 class TestRandomizedSweep:
-    """Seeded fuzz: random (workload, scheme, seed) cells, all engines.
+    """Seeded fuzz: random (workload, scheme, seed) cells, all engines,
+    through the differential executor (:mod:`repro.testing`).
 
-    Every combination must match the scalar/object reference exactly —
-    cycles and the full stats dicts (``elapsed_s`` excluded).  The
-    scheme sample covers the inert baseline, all three MBIST-oracle
-    families (per-way CORRECTED replay, disabled ways, FLAIR's
-    configuration-gated filtering) and two Killi ratios (guarded
-    replay, DFH warmup fallback).
+    Strictly stronger than the hand-rolled ``run_cell`` loop this
+    replaced: the oracle diffs the full canonical state snapshot —
+    tags, recency orders, DFH state, RNG stream position — not just
+    the result dict.  The scheme sample covers the inert baseline, all
+    three MBIST-oracle families (per-way CORRECTED replay, disabled
+    ways, FLAIR's configuration-gated filtering) and two Killi ratios
+    (guarded replay, DFH warmup fallback).
     """
 
     CASES = [
@@ -106,25 +108,17 @@ class TestRandomizedSweep:
 
     @pytest.mark.parametrize("workload,scheme,seed", CASES)
     def test_fuzzed_cell(self, workload, scheme, seed):
+        from repro.scenario.config import cell_scenario
+        from repro.testing.differential import diff_scenario
+
         rng = np.random.default_rng(seed)
         accesses = int(rng.integers(300, 900))
-
-        def cell(engine, substrate):
-            spec = CellSpec(
-                workload=workload, scheme=scheme, voltage=0.625, seed=seed,
-                accesses_per_cu=accesses, engine=engine, substrate=substrate,
-            )
-            d = run_cell(spec).to_dict()
-            d.pop("elapsed_s", None)
-            d.pop("from_cache", None)
-            return d
-
-        reference = cell("scalar", "object")
-        for engine in ENGINES:
-            for substrate in SUBSTRATES:
-                if (engine, substrate) == ("scalar", "object"):
-                    continue
-                assert cell(engine, substrate) == reference, (engine, substrate)
+        scenario = cell_scenario(
+            workload, scheme, voltage=0.625, seed=seed,
+            accesses_per_cu=accesses,
+        )
+        divergence = diff_scenario(scenario)
+        assert divergence is None, divergence.describe()
 
 
 def make_trace(addrs_per_cu, stores=None, gaps=None) -> Trace:

@@ -74,7 +74,14 @@ def scheme_state_key(result, sim, scheme):
 
 
 class TestInterpreterEquivalence:
-    """Engine x substrate sweep pinned on DFH/SDC/ECC scheme state."""
+    """Engine x substrate sweep pinned on DFH/SDC/ECC scheme state.
+
+    Runs through the differential executor (:mod:`repro.testing`),
+    whose canonical snapshot carries everything the hand-rolled
+    ``scheme_state_key`` sweep this replaced compared — DFH histogram,
+    transition counts, SDC events, ECC-cache counters, shared-RNG
+    stream position — plus full tag/recency state.
+    """
 
     CASES = [
         ("xsbench", "killi_1:8", 21, 3000),
@@ -86,22 +93,18 @@ class TestInterpreterEquivalence:
     def test_scheme_state_bit_identical(
         self, workload, scheme_name, seed, accesses
     ):
-        def run(engine, substrate):
-            sim, scheme = build_sim(engine, substrate, scheme_name, seed)
-            trace = workload_trace(
-                workload, accesses, n_cus=sim.config.n_cus,
-                rng=RngFactory(seed).stream(f"trace/{workload}"),
-            )
-            result = sim.run(trace)
-            return scheme_state_key(result, sim, scheme)
+        from repro.scenario.config import cell_scenario
+        from repro.testing.differential import diff_scenario, run_scenario
 
-        reference = run("scalar", "object")
-        assert sum(reference[8].values()) == GpuConfig().l2.n_lines
-        for engine in ENGINES:
-            for substrate in SUBSTRATES:
-                if (engine, substrate) == ("scalar", "object"):
-                    continue
-                assert run(engine, substrate) == reference, (engine, substrate)
+        scenario = cell_scenario(
+            workload, scheme_name, voltage=0.625, seed=seed,
+            accesses_per_cu=accesses,
+        )
+        reference = run_scenario(scenario, "scalar", "object")
+        histogram = reference.snapshot["scheme"]["dfh_histogram"]
+        assert sum(histogram.values()) == GpuConfig().l2.n_lines
+        divergence = diff_scenario(scenario)
+        assert divergence is None, divergence.describe()
 
     def test_multi_kernel_dfh_carryover(self):
         """DFH training persists across kernels (paper footnote 6):

@@ -280,3 +280,56 @@ class TestCacheHardening:
         assert _store_cached(str(tmp_path), spec.to_scenario(), result) is True
         assert (tmp_path / f"{spec.fingerprint()}.json").exists()
         assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestJournalPrefixResume:
+    """Property: resume from *any* prefix-truncation of a journal.
+
+    A crash can stop the journal mid-campaign — or mid-line.  Whatever
+    prefix survives, resuming against the same cache must reproduce
+    the straight-through results bit-identically: finished cells load
+    from cache, everything after the cut is recomputed.
+    """
+
+    def specs(self):
+        return [
+            CellSpec(workload="nekbone", scheme="baseline",
+                     seed=11, accesses_per_cu=ACCESSES),
+            CellSpec(workload="nekbone", scheme="killi_1:64",
+                     seed=11, accesses_per_cu=ACCESSES),
+            CellSpec(workload="fft", scheme="killi_1:8",
+                     seed=7, accesses_per_cu=ACCESSES),
+        ]
+
+    def test_every_line_prefix_is_resumable(self, tmp_path):
+        cache = tmp_path / "cache"
+        journal = tmp_path / "journal.jsonl"
+        full = run_cells(self.specs(), cache_dir=str(cache),
+                         journal=str(journal))
+        reference = [comparable(c) for c in full]
+        lines = journal.read_text().splitlines(keepends=True)
+        assert len(lines) >= len(self.specs()) + 1
+        for cut in range(len(lines) + 1):
+            truncated = tmp_path / f"prefix_{cut}.jsonl"
+            truncated.write_text("".join(lines[:cut]))
+            resumed = run_cells(self.specs(), cache_dir=str(cache),
+                                resume=str(truncated))
+            got = [comparable(c) for c in resumed]
+            assert got == reference, f"diverged resuming from {cut} lines"
+
+    def test_mid_line_byte_truncation_is_resumable(self, tmp_path):
+        cache = tmp_path / "cache"
+        journal = tmp_path / "journal.jsonl"
+        full = run_cells(self.specs(), cache_dir=str(cache),
+                         journal=str(journal))
+        reference = [comparable(c) for c in full]
+        blob = journal.read_bytes()
+        # Cut inside a record: the torn last line must be skipped, not
+        # crash the resume or corrupt earlier entries.
+        for cut in (len(blob) // 3, len(blob) // 2, len(blob) - 7):
+            truncated = tmp_path / f"bytes_{cut}.jsonl"
+            truncated.write_bytes(blob[:cut])
+            resumed = run_cells(self.specs(), cache_dir=str(cache),
+                                resume=str(truncated))
+            got = [comparable(c) for c in resumed]
+            assert got == reference, f"diverged resuming from {cut} bytes"

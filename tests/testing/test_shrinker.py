@@ -1,0 +1,90 @@
+"""The shrinker, and the planted-divergence acceptance path end to end."""
+
+import os
+
+import pytest
+
+from repro.scenario.config import GpuSection, ScenarioConfig, cell_scenario
+from repro.testing.differential import PLANTS, diff_scenario
+from repro.testing.shrinker import shrink, total_accesses, write_reproducer
+
+
+def base_scenario(**kw):
+    kw.setdefault("accesses_per_cu", 250)
+    kw.setdefault("voltage", 0.625)
+    kw.setdefault("seed", 3)
+    kw.setdefault(
+        "gpu",
+        GpuSection(n_cus=4, l2_size_bytes=64 * 1024, l2_associativity=8),
+    )
+    return cell_scenario("miniamr", kw.pop("scheme", "killi_1:8"), **kw)
+
+
+class TestShrinkMechanics:
+    def test_not_interesting_raises(self):
+        with pytest.raises(ValueError):
+            shrink(base_scenario(), lambda s: False)
+
+    def test_pure_predicate_minimizes(self):
+        # No simulation: the predicate only needs >= 5 accesses/CU.
+        def interesting(s):
+            return s.workload.accesses_per_cu >= 5
+
+        shrunk = shrink(base_scenario(), interesting)
+        assert shrunk.workload.accesses_per_cu == 5
+        assert shrunk.gpu.n_cus == 1
+        assert shrunk.scheme.name == "baseline"
+
+    def test_result_always_interesting_and_valid(self):
+        def interesting(s):
+            return s.scheme.name.startswith("killi")
+
+        shrunk = shrink(base_scenario(), interesting)
+        assert interesting(shrunk)
+        shrunk.validate()
+        shrunk.gpu.to_gpu_config()
+
+    def test_geometry_shrinks(self):
+        shrunk = shrink(base_scenario(), lambda s: True)
+        geo = shrunk.gpu.to_gpu_config().l2
+        assert geo.n_sets >= 2
+        assert shrunk.gpu.l2_size_bytes < 64 * 1024
+        assert shrunk.gpu.l2_banks == 1
+
+
+class TestPlantedAcceptance:
+    def test_planted_divergence_shrinks_small(self, tmp_path):
+        # The ISSUE acceptance criterion: a deliberately planted fault
+        # must be caught and shrunk to a <= 20-access reproducer.
+        plant = PLANTS["disable-way"]
+        scenario = base_scenario()
+        assert diff_scenario(scenario, plant=plant) is not None
+
+        shrunk = shrink(
+            scenario, lambda s: diff_scenario(s, plant=plant) is not None
+        )
+        assert total_accesses(shrunk) <= 20
+        assert diff_scenario(shrunk, plant=plant) is not None
+
+        path, pytest_line = write_reproducer(shrunk, str(tmp_path))
+        assert os.path.exists(path)
+        assert shrunk.fingerprint()[:12] in pytest_line
+        replayed = ScenarioConfig.from_toml(open(path).read())
+        assert replayed == shrunk
+
+
+class TestWriteReproducer:
+    def test_idempotent_naming(self, tmp_path):
+        scenario = base_scenario()
+        path1, _ = write_reproducer(scenario, str(tmp_path), note="first")
+        path2, _ = write_reproducer(scenario, str(tmp_path), note="second")
+        assert path1 == path2
+        assert len(list(tmp_path.glob("repro_*.toml"))) == 1
+
+    def test_note_in_header(self, tmp_path):
+        path, _ = write_reproducer(
+            base_scenario(), str(tmp_path), note="Found by: unit test"
+        )
+        text = open(path).read()
+        assert "Found by: unit test" in text
+        assert text.startswith("#")
